@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation (Section III): how ES shapes the precision/range
+ * trade-off. For every posit(64, ES) configuration and a sweep of
+ * result magnitudes, measure multiply accuracy against the oracle.
+ * Shows both effects the paper describes: larger ES costs fraction
+ * bits when few regime bits are needed, but *saves* fraction bits
+ * deep in the range where small-ES regimes explode (the 2^-2048
+ * example of Section III), and widens the representable range.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/accuracy.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace pstat;
+
+template <int ES>
+std::string
+medianErrAt(stats::Rng &rng, int64_t exp2, int samples)
+{
+    using P = Posit<64, ES>;
+    if (exp2 < P::scale_min)
+        return "(out of range)";
+    std::vector<double> errs;
+    for (int i = 0; i < samples; ++i) {
+        BigFloat::Mantissa ma = {rng(), rng(), rng(),
+                                 rng() | (uint64_t{1} << 63)};
+        BigFloat::Mantissa mb = {rng(), rng(), rng(),
+                                 rng() | (uint64_t{1} << 63)};
+        const auto half = exp2 / 2;
+        const BigFloat a = BigFloat::fromLimbs(false, half + 1, ma);
+        const BigFloat b =
+            BigFloat::fromLimbs(false, exp2 - half + 1, mb);
+        errs.push_back(
+            accuracy::measureOp<P>(accuracy::Op::Mul, a, b));
+    }
+    return stats::formatDouble(stats::boxStats(errs).median, 2);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace pstat;
+    stats::printBanner(
+        "Ablation: ES sweep — accuracy of posit(64,ES) multiplies");
+
+    const int samples = bench::scaled(400, 50);
+    stats::Rng rng(2024);
+    stats::TextTable table({"result magnitude (log2)", "ES=6", "ES=9",
+                            "ES=12", "ES=15", "ES=18", "ES=21"});
+    for (int64_t exp2 :
+         {-100L, -1000L, -2048L, -3500L, -10000L, -30000L, -100000L,
+          -1000000L, -10000000L}) {
+        table.addRow({stats::formatInt(exp2),
+                      medianErrAt<6>(rng, exp2, samples),
+                      medianErrAt<9>(rng, exp2, samples),
+                      medianErrAt<12>(rng, exp2, samples),
+                      medianErrAt<15>(rng, exp2, samples),
+                      medianErrAt<18>(rng, exp2, samples),
+                      medianErrAt<21>(rng, exp2, samples)});
+    }
+    table.print();
+    std::printf("\nreading the table (median log10 relative error): "
+                "each column is best in a different magnitude band — "
+                "the diagonal structure is the paper's ES trade-off. "
+                "Note ES=6 at -2048 vs ES=9 (Section III's worked "
+                "example: 33 regime bits vs 5).\n");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation (Section VII): the Logarithmic Number System as a
+ * fourth contender. A 64-bit LNS (fixed-point log2, Q24.39) has a
+ * huge dynamic range and a *flat* error profile, but its precision
+ * is capped at the fixed-point fraction width at every magnitude —
+ * worse than posit and log-space binary64 inside their comfortable
+ * ranges — and its adder needs the same expensive log/exp units as
+ * the LSE datapath (lookup tables are impossible at 64 bits).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/accuracy.hh"
+#include "core/lns.hh"
+#include "core/real_traits.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace pstat;
+
+template <typename T>
+std::string
+medianAddErr(stats::Rng &rng, int64_t exp2, int samples)
+{
+    std::vector<double> errs;
+    for (int i = 0; i < samples; ++i) {
+        BigFloat::Mantissa ma = {rng(), rng(), rng(),
+                                 rng() | (uint64_t{1} << 63)};
+        BigFloat::Mantissa mb = {rng(), rng(), rng(),
+                                 rng() | (uint64_t{1} << 63)};
+        const BigFloat a = BigFloat::fromLimbs(false, exp2 + 1, ma);
+        const BigFloat b =
+            BigFloat::fromLimbs(false, exp2 - 2, mb);
+        const double err =
+            accuracy::measureOp<T>(accuracy::Op::Add, a, b);
+        if (err < accuracy::invalid_log10)
+            errs.push_back(err);
+    }
+    if (errs.empty())
+        return "(underflow)";
+    return stats::formatDouble(stats::boxStats(errs).median, 2);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace pstat;
+    stats::printBanner(
+        "Ablation: LNS (fixed-point logs) vs log-space vs posit");
+
+    const int samples = bench::scaled(400, 50);
+    stats::Rng rng(7);
+    stats::TextTable table({"operand magnitude (log2)", "binary64",
+                            "Log (LSE)", "lns64 Q24.39",
+                            "posit(64,12)", "posit(64,18)"});
+    for (int64_t exp2 :
+         {-50L, -500L, -5000L, -50000L, -200000L, -2000000L}) {
+        table.addRow({stats::formatInt(exp2),
+                      medianAddErr<double>(rng, exp2, samples),
+                      medianAddErr<LogDouble>(rng, exp2, samples),
+                      medianAddErr<Lns64>(rng, exp2, samples),
+                      medianAddErr<Posit<64, 12>>(rng, exp2, samples),
+                      medianAddErr<Posit<64, 18>>(rng, exp2,
+                                                  samples)});
+    }
+    table.print();
+    std::printf("\nexpected pattern: LNS is flat (~1e-12) at every "
+                "magnitude — better than floating log-space at "
+                "extreme depth, worse than posit until posit runs "
+                "out of range. Hardware-wise its adder still needs "
+                "log/exp function units (Section VII), so it "
+                "inherits the LSE datapath costs of Table II.\n");
+    return 0;
+}

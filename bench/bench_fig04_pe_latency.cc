@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 4: processing-element latency decomposition. Log-based
+ * forward PEs need 62 + 9*log2(H) cycles (max tree, subtracts,
+ * exponentials, adder tree, logarithm); posit PEs need
+ * 24 + 8*log2(H) (multipliers + adder tree). Column PEs: 73 vs 30.
+ */
+
+#include <cstdio>
+
+#include "fpga/pe.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+void
+printPe(const pstat::fpga::PeModel &pe)
+{
+    std::printf("%s — total %d cycles\n", pe.name.c_str(),
+                pe.latency);
+    for (const auto &stage : pe.stages)
+        std::printf("    %-48s %3d cycles\n", stage.name.c_str(),
+                    stage.cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace pstat;
+    using namespace pstat::fpga;
+    stats::printBanner("Figure 4: PE latency decomposition");
+
+    stats::TextTable table({"H", "log PE (62+9*log2 H)",
+                            "posit PE (24+8*log2 H)",
+                            "reduction (38+log2 H)"});
+    for (int h : {13, 32, 64, 128}) {
+        const auto lg = forwardPeLog(h);
+        const auto ps = forwardPePosit(h, 18);
+        table.addRow({std::to_string(h), std::to_string(lg.latency),
+                      std::to_string(ps.latency),
+                      std::to_string(lg.latency - ps.latency)});
+    }
+    table.print();
+    std::printf("\n");
+
+    printPe(forwardPeLog(64));
+    std::printf("\n");
+    printPe(forwardPePosit(64, 18));
+    std::printf("\n");
+    printPe(columnPeLog());
+    std::printf("\n");
+    printPe(columnPePosit(12));
+    std::printf("\npaper reference: column PEs 73 (log: 64 LSE + 6 "
+                "add + 3 conditional) vs 30 (posit) cycles\n");
+    return 0;
+}

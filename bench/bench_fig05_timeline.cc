@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 5: accelerator execution timeline. The discrete-event
+ * simulator walks prefetch/issue/drain per outer iteration and is
+ * cross-checked against the closed-form cycle model
+ * outer * (pipeline latency + PE latency).
+ */
+
+#include <cstdio>
+
+#include "fpga/timeline.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace pstat;
+    using namespace pstat::fpga;
+    stats::printBanner(
+        "Figure 5: execution timeline (event sim vs closed form)");
+
+    stats::TextTable fw({"unit", "H", "event-sim cycles",
+                         "closed form", "delta", "PE occupancy",
+                         "prefetch stalls"});
+    const uint64_t t_len = 100000;
+    for (Format f : {Format::Log, Format::Posit}) {
+        for (int h : {13, 32, 64, 128}) {
+            const auto sim = simulateForwardRun(f, h, t_len);
+            const double formula = forwardCycles(f, h, t_len);
+            fw.addRow({f == Format::Log ? "log forward" : "posit forward",
+                       std::to_string(h),
+                       stats::formatInt(static_cast<long long>(
+                           sim.total_cycles)),
+                       stats::formatInt(
+                           static_cast<long long>(formula)),
+                       stats::formatInt(static_cast<long long>(
+                           sim.total_cycles -
+                           static_cast<uint64_t>(formula))),
+                       stats::formatPercent(sim.pe_occupancy),
+                       stats::formatInt(static_cast<long long>(
+                           sim.compute_stall_cycles))});
+        }
+    }
+    fw.print();
+
+    std::printf("\ncolumn units (N = 200000):\n");
+    stats::TextTable col({"unit", "K", "event-sim cycles",
+                          "closed form", "prefetch stalls"});
+    for (Format f : {Format::Log, Format::Posit}) {
+        for (int k : {5, 20, 100, 400}) {
+            const auto sim = simulateColumnRun(f, 200000, k);
+            const double formula = columnCycles(f, 200000, k);
+            col.addRow({f == Format::Log ? "log column" : "posit column",
+                        std::to_string(k),
+                        stats::formatInt(static_cast<long long>(
+                            sim.total_cycles)),
+                        stats::formatInt(
+                            static_cast<long long>(formula)),
+                        stats::formatInt(static_cast<long long>(
+                            sim.compute_stall_cycles))});
+        }
+    }
+    col.print();
+    std::printf("\nnote: posit's shorter PE latency shifts small-K "
+                "columns into the prefetcher-bound regime "
+                "(Section V-C), visible as nonzero stalls above.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 6: wall-clock execution time of forward-algorithm units at
+ * 300 MHz, T = 500,000, for H in {13, 32, 64, 128}, posit vs log,
+ * plus the relative improvement series of Figure 6(b).
+ */
+
+#include <cstdio>
+
+#include "fpga/accelerator.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace pstat;
+    using namespace pstat::fpga;
+    stats::printBanner(
+        "Figure 6: forward-algorithm unit performance (T = 500,000)");
+
+    const double paper_posit[] = {0.14, 0.17, 0.25, 0.55};
+    const double paper_log[] = {0.21, 0.25, 0.32, 0.66};
+    const int hs[] = {13, 32, 64, 128};
+
+    stats::TextTable table({"H", "posit (s)", "paper", "log (s)",
+                            "paper", "improvement", "paper"});
+    for (int i = 0; i < 4; ++i) {
+        const double tp =
+            forwardSeconds(Format::Posit, hs[i], 500000);
+        const double tl = forwardSeconds(Format::Log, hs[i], 500000);
+        const double paper_improvement =
+            1.0 - paper_posit[i] / paper_log[i];
+        table.addRow({std::to_string(hs[i]),
+                      stats::formatDouble(tp, 3),
+                      stats::formatDouble(paper_posit[i], 2),
+                      stats::formatDouble(tl, 3),
+                      stats::formatDouble(paper_log[i], 2),
+                      stats::formatPercent(1.0 - tp / tl, 1),
+                      stats::formatPercent(paper_improvement, 1)});
+    }
+    table.print();
+    std::printf("\nshape checks: posit faster everywhere; improvement "
+                "shrinks as H grows (pipeline latency dominates).\n");
+    return 0;
+}

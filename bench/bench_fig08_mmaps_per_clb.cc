@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 8: performance per resource unit — MMAPS (million
+ * multiply-and-adds per second) per CLB for posit vs log column
+ * units across D0..D7. The paper's headline: posit delivers ~2x.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "fpga/accelerator.hh"
+#include "pbd/dataset.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace pstat;
+    using namespace pstat::fpga;
+    stats::printBanner("Figure 8: MMAPS per CLB unit");
+
+    const int cols = bench::envInt("PSTAT_FIG7_COLUMNS", 27766);
+    const auto datasets = pbd::makePaperDatasetStats(cols, 9);
+    const Design log_unit = makeColumnUnit(Format::Log);
+    const Design posit_unit = makeColumnUnit(Format::Posit);
+
+    stats::TextTable table({"Dataset", "posit MMAPS/CLB",
+                            "log MMAPS/CLB", "ratio"});
+    double min_ratio = 1e9;
+    double max_ratio = 0.0;
+    for (const auto &ds : datasets) {
+        const double pm =
+            datasetMmaps(Format::Posit, ds) / posit_unit.clb();
+        const double lm =
+            datasetMmaps(Format::Log, ds) / log_unit.clb();
+        const double ratio = pm / lm;
+        min_ratio = std::min(min_ratio, ratio);
+        max_ratio = std::max(max_ratio, ratio);
+        table.addRow({ds.name, stats::formatDouble(pm, 3),
+                      stats::formatDouble(lm, 3),
+                      stats::formatDouble(ratio, 2) + "x"});
+    }
+    table.print();
+    std::printf("\nCLBs: posit %d vs log %d; ratio range %.2fx-%.2fx "
+                "(paper: ~2x on all datasets)\n",
+                static_cast<int>(posit_unit.clb()),
+                static_cast<int>(log_unit.clb()), min_ratio,
+                max_ratio);
+    return 0;
+}

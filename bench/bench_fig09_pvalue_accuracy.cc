@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Figure 9: accuracy of final LoFreq p-values per magnitude bin, for
+ * log-space and the three posit configurations, plus the Section
+ * VI-D bookkeeping: underflow counts and relative-error >= 1 counts
+ * per posit config (extreme cases are excluded from the box plot, as
+ * in the paper).
+ *
+ * Columns come from the value-scale SARS-CoV-2-style generator plus
+ * per-bin filler columns so that every Figure 9 magnitude bin is
+ * populated even at laptop sample counts.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "core/accuracy.hh"
+#include "pbd/dataset.hh"
+#include "pbd/pbd.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace pstat;
+
+struct FormatTally
+{
+    std::string name;
+    /** Out-of-range cut-off: values below 2^range_floor underflow
+     *  (the paper's posit hardware flushes sub-minpos to zero; our
+     *  standard-compliant scalar saturates at minpos, so the event
+     *  is detected from the oracle magnitude). 0 disables. */
+    double range_floor = 0.0;
+    std::vector<std::vector<double>> bins; // log10 rel errors < 0
+    int underflows = 0;
+    int huge_errors = 0; // relative error >= 1 while in range
+    double worst_log10 = -1e9;
+};
+
+template <typename T>
+void
+tally(FormatTally &tally_out, const pbd::Column &column,
+      const BigFloat &oracle, int bin)
+{
+    const T p = pbd::pvalue<T>(column.success_probs, column.k);
+    const BigFloat got = RealTraits<T>::toBigFloat(p);
+    const bool out_of_range =
+        tally_out.range_floor < 0.0 &&
+        oracle.log2Abs() < tally_out.range_floor;
+    if (out_of_range ||
+        (RealTraits<T>::isZero(p) && !oracle.isZero())) {
+        ++tally_out.underflows;
+        return;
+    }
+    const double err = accuracy::relErrLog10(oracle, got);
+    if (err >= 0.0) { // relative error >= 1: excluded from the plot
+        ++tally_out.huge_errors;
+        tally_out.worst_log10 = std::max(tally_out.worst_log10, err);
+        return;
+    }
+    if (bin >= 0)
+        tally_out.bins[bin].push_back(err);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace pstat;
+    stats::printBanner(
+        "Figure 9: accuracy of final p-values by magnitude");
+
+    const auto bins = stats::figure9Bins();
+    stats::Rng rng(99);
+
+    // Bulk dataset + per-bin fillers.
+    pbd::DatasetConfig config;
+    config.num_columns = bench::scaled(700, 100);
+    config.seed = 31;
+    auto dataset = pbd::makeDataset(config, "fig9");
+    const int fillers = bench::scaled(4, 2);
+    for (const auto &bin : bins) {
+        for (int i = 0; i < fillers; ++i) {
+            const double hi = std::min(-220.0, bin.hi);
+            const double target = -rng.uniform(bin.lo, hi);
+            dataset.columns.push_back(
+                pbd::makeColumnWithTarget(rng, target));
+        }
+    }
+
+    std::vector<FormatTally> tallies(4);
+    tallies[0].name = "Log";
+    tallies[1].name = "posit(64,9)";
+    tallies[1].range_floor = Posit<64, 9>::scale_min;
+    tallies[2].name = "posit(64,12)";
+    tallies[2].range_floor = Posit<64, 12>::scale_min;
+    tallies[3].name = "posit(64,18)";
+    tallies[3].range_floor = Posit<64, 18>::scale_min;
+    for (auto &t : tallies)
+        t.bins.resize(bins.size());
+
+    int evaluated = 0;
+    for (const auto &column : dataset.columns) {
+        const BigFloat oracle =
+            pbd::pvalueOracle(column.success_probs, column.k)
+                .toBigFloat();
+        if (oracle.isZero())
+            continue;
+        const int bin = stats::binIndex(bins, oracle.log2Abs());
+        tally<LogDouble>(tallies[0], column, oracle, bin);
+        tally<Posit<64, 9>>(tallies[1], column, oracle, bin);
+        tally<Posit<64, 12>>(tallies[2], column, oracle, bin);
+        tally<Posit<64, 18>>(tallies[3], column, oracle, bin);
+        ++evaluated;
+    }
+    std::printf("columns evaluated: %d (PSTAT_SCALE to grow)\n\n",
+                evaluated);
+
+    stats::TextTable table({"format", "bin", "p25", "median", "p75",
+                            "n"});
+    for (const auto &t : tallies) {
+        for (size_t bi = 0; bi < bins.size(); ++bi) {
+            const auto box = stats::boxStats(t.bins[bi]);
+            if (box.count == 0) {
+                table.addRow({t.name, bins[bi].label, "-",
+                              "(absent)", "-", "0"});
+                continue;
+            }
+            table.addRow({t.name, bins[bi].label,
+                          stats::formatDouble(box.p25, 2),
+                          stats::formatDouble(box.median, 2),
+                          stats::formatDouble(box.p75, 2),
+                          std::to_string(box.count)});
+        }
+    }
+    table.print();
+
+    std::printf("\nSection VI-D bookkeeping:\n");
+    for (const auto &t : tallies) {
+        std::printf("  %-13s underflows: %3d   rel-err>=1 cases: %3d",
+                    t.name.c_str(), t.underflows, t.huge_errors);
+        if (t.huge_errors > 0) {
+            if (t.worst_log10 >= accuracy::invalid_log10)
+                std::printf("   largest rel err: >=1e+400 (clamped)");
+            else
+                std::printf("   largest rel err: 1e%+.0f",
+                            t.worst_log10);
+        }
+        std::printf("\n");
+    }
+    std::printf("paper: posit(64,9) underflows 132 / 30 huge "
+                "(max ~1e295); posit(64,12) 2 / 2 (max ~1e2129); "
+                "posit(64,18) zero of both.\n");
+    std::printf("shape checks: posit(64,9) best near [-200,0] then "
+                "collapses; posit(64,12) widest high-accuracy span; "
+                "posit(64,18) best on the extreme left bins.\n");
+    return 0;
+}

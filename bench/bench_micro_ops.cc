@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the software scalar operations
+ * underlying every experiment. Context for Section IV-B's remark
+ * that "software-emulated posit is too slow for practical use": the
+ * gap between hardware-native binary64 and software posit/LSE is
+ * visible directly in these throughput numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bigfloat/bigfloat.hh"
+#include "core/dd.hh"
+#include "core/logspace.hh"
+#include "core/posit.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using namespace pstat;
+
+constexpr int pool_size = 1024;
+
+template <typename T, typename Make>
+std::vector<T>
+makePool(Make make)
+{
+    stats::Rng rng(123);
+    std::vector<T> pool;
+    pool.reserve(pool_size);
+    for (int i = 0; i < pool_size; ++i)
+        pool.push_back(make(rng.uniform(1e-6, 1.0)));
+    return pool;
+}
+
+void
+BM_Binary64Add(benchmark::State &state)
+{
+    auto pool = makePool<double>([](double v) { return v; });
+    size_t i = 0;
+    double acc = 0.0;
+    for (auto _ : state) {
+        acc += pool[i % pool_size];
+        ++i;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_Binary64Add);
+
+void
+BM_Binary64Mul(benchmark::State &state)
+{
+    auto pool = makePool<double>([](double v) { return v + 0.5; });
+    size_t i = 0;
+    double acc = 1.0;
+    for (auto _ : state) {
+        acc *= pool[i % pool_size];
+        ++i;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_Binary64Mul);
+
+void
+BM_LogSpaceAddLse(benchmark::State &state)
+{
+    auto pool = makePool<LogDouble>(
+        [](double v) { return LogDouble::fromDouble(v); });
+    size_t i = 0;
+    LogDouble acc = LogDouble::zero();
+    for (auto _ : state) {
+        acc = acc + pool[i % pool_size];
+        ++i;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_LogSpaceAddLse);
+
+void
+BM_LogSpaceMul(benchmark::State &state)
+{
+    auto pool = makePool<LogDouble>(
+        [](double v) { return LogDouble::fromDouble(v); });
+    size_t i = 0;
+    LogDouble acc = LogDouble::one();
+    for (auto _ : state) {
+        acc = acc * pool[i % pool_size];
+        ++i;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_LogSpaceMul);
+
+template <int ES>
+void
+BM_PositAdd(benchmark::State &state)
+{
+    using P = Posit<64, ES>;
+    auto pool =
+        makePool<P>([](double v) { return P::fromDouble(v); });
+    size_t i = 0;
+    P acc = P::zero();
+    for (auto _ : state) {
+        acc = acc + pool[i % pool_size];
+        ++i;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_PositAdd<9>);
+BENCHMARK(BM_PositAdd<12>);
+BENCHMARK(BM_PositAdd<18>);
+
+template <int ES>
+void
+BM_PositMul(benchmark::State &state)
+{
+    using P = Posit<64, ES>;
+    auto pool =
+        makePool<P>([](double v) { return P::fromDouble(v + 0.5); });
+    size_t i = 0;
+    P acc = P::one();
+    for (auto _ : state) {
+        acc = acc * pool[i % pool_size];
+        ++i;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_PositMul<9>);
+BENCHMARK(BM_PositMul<18>);
+
+void
+BM_ScaledDdMul(benchmark::State &state)
+{
+    auto pool =
+        makePool<ScaledDD>([](double v) { return ScaledDD(v); });
+    size_t i = 0;
+    ScaledDD acc = ScaledDD::one();
+    for (auto _ : state) {
+        acc = acc * pool[i % pool_size];
+        ++i;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_ScaledDdMul);
+
+void
+BM_BigFloatMul(benchmark::State &state)
+{
+    auto pool = makePool<BigFloat>(
+        [](double v) { return BigFloat::fromDouble(v + 0.5); });
+    size_t i = 0;
+    BigFloat acc = BigFloat::one();
+    for (auto _ : state) {
+        acc = acc * pool[i % pool_size];
+        ++i;
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_BigFloatMul);
+
+void
+BM_BigFloatLn(benchmark::State &state)
+{
+    auto pool = makePool<BigFloat>(
+        [](double v) { return BigFloat::fromDouble(v + 1e-6); });
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(BigFloat::ln(pool[i % pool_size]));
+        ++i;
+    }
+}
+BENCHMARK(BM_BigFloatLn);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Table II: resource utilization and latency of the individual
+ * arithmetic units, from the calibrated component model, printed
+ * against the paper's post-routing numbers.
+ */
+
+#include <cstdio>
+
+#include "fpga/arith_units.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace pstat;
+    using namespace pstat::fpga;
+    stats::printBanner(
+        "Table II: resource utilization of arithmetic units");
+
+    struct PaperRow
+    {
+        double lut, reg, dsp;
+        int cycles;
+        int fmax;
+    };
+    const PaperRow paper[] = {
+        {679, 587, 0, 6, 480},    {5076, 5287, 34, 64, 346},
+        {1064, 1005, 0, 8, 354},  {1012, 974, 0, 8, 358},
+        {213, 484, 6, 8, 480},    {679, 587, 0, 6, 480},
+        {618, 1004, 9, 12, 336},  {558, 969, 10, 12, 336},
+    };
+
+    stats::TextTable table({"Arithmetic unit", "LUT", "(paper)",
+                            "Register", "(paper)", "DSP", "(paper)",
+                            "Cycles", "Fmax (MHz)"});
+    const auto units = table2Units();
+    for (size_t i = 0; i < units.size(); ++i) {
+        const auto &u = units[i];
+        table.addRow({u.name,
+                      stats::formatInt(static_cast<long long>(u.res.lut)),
+                      stats::formatInt(static_cast<long long>(paper[i].lut)),
+                      stats::formatInt(static_cast<long long>(u.res.reg)),
+                      stats::formatInt(static_cast<long long>(paper[i].reg)),
+                      std::to_string(static_cast<int>(u.res.dsp)),
+                      std::to_string(static_cast<int>(paper[i].dsp)),
+                      std::to_string(u.cycles),
+                      std::to_string(static_cast<int>(u.fmax_mhz))});
+    }
+    table.print();
+
+    const auto lse = makeUnit(UnitKind::LseAdd);
+    const auto add = makeUnit(UnitKind::B64Add);
+    std::printf("\nheadline ratios (Section I): log-space add vs "
+                "binary64 add:\n");
+    std::printf("  latency %0.1fx (paper ~10x), LUT %0.1fx "
+                "(paper ~8x), FF %0.1fx (paper ~8x)\n",
+                static_cast<double>(lse.cycles) / add.cycles,
+                lse.res.lut / add.res.lut, lse.res.reg / add.res.reg);
+    return 0;
+}

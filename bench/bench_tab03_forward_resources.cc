@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table III: resource use of forward-algorithm units for H in
+ * {13, 32, 64, 128}, logarithm vs posit(64,18), with per-resource
+ * reduction rows — printed against the paper's numbers.
+ */
+
+#include <cstdio>
+
+#include "fpga/accelerator.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace pstat;
+    using namespace pstat::fpga;
+    stats::printBanner("Table III: resource use of forward units");
+
+    struct PaperRow
+    {
+        double clb, lut, reg, dsp, sram, fmax;
+    };
+    const PaperRow paper_log[] = {
+        {14308, 68966, 61720, 275, 43, 345},
+        {27264, 145300, 119435, 560, 98, 345},
+        {47058, 273525, 216083, 1021, 250, 332},
+        {50690, 308719, 258834, 1040, 1406, 308},
+    };
+    const PaperRow paper_posit[] = {
+        {6272, 26093, 32271, 143, 43, 330},
+        {12090, 55910, 67906, 314, 102, 330},
+        {23187, 103948, 125875, 602, 258, 330},
+        {23775, 123011, 157696, 602, 1410, 300},
+    };
+
+    stats::TextTable table({"design", "H", "CLB", "LUT", "Register",
+                            "DSP", "SRAM", "Fmax"});
+    auto add_rows = [&table](const Design &d, const PaperRow &p) {
+        table.addRow(
+            {d.format == Format::Log ? "Logarithm" : "posit(64,18)",
+             std::to_string(d.h),
+             stats::formatInt(static_cast<long long>(d.clb())),
+             stats::formatInt(static_cast<long long>(d.res.lut)),
+             stats::formatInt(static_cast<long long>(d.res.reg)),
+             stats::formatInt(static_cast<long long>(d.res.dsp)),
+             stats::formatInt(static_cast<long long>(d.res.sram)),
+             std::to_string(static_cast<int>(d.fmax_mhz))});
+        table.addRow(
+            {"  (paper)", "",
+             stats::formatInt(static_cast<long long>(p.clb)),
+             stats::formatInt(static_cast<long long>(p.lut)),
+             stats::formatInt(static_cast<long long>(p.reg)),
+             stats::formatInt(static_cast<long long>(p.dsp)),
+             stats::formatInt(static_cast<long long>(p.sram)),
+             std::to_string(static_cast<int>(p.fmax))});
+    };
+
+    const int hs[] = {13, 32, 64, 128};
+    for (int i = 0; i < 4; ++i) {
+        const Design lg = makeForwardUnit(Format::Log, hs[i]);
+        const Design ps = makeForwardUnit(Format::Posit, hs[i], 18);
+        add_rows(lg, paper_log[i]);
+        add_rows(ps, paper_posit[i]);
+        table.addRow(
+            {"  reduction", std::to_string(hs[i]),
+             stats::formatPercent(1.0 - ps.clb() / lg.clb()),
+             stats::formatPercent(1.0 - ps.res.lut / lg.res.lut),
+             stats::formatPercent(1.0 - ps.res.reg / lg.res.reg),
+             stats::formatPercent(1.0 - ps.res.dsp / lg.res.dsp),
+             stats::formatPercent(1.0 - ps.res.sram / lg.res.sram),
+             ""});
+    }
+    table.print();
+    std::printf("\npaper reduction bands: CLB 50-57%%, LUT 60-62%%, "
+                "Register 39-48%%, DSP 41-48%%, SRAM ~0 to -4%%\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table IV: resource use of the 8-PE column units, logarithm vs
+ * posit(64,12), with reductions and the SLR-packing consequence
+ * (Section VI-C: 4 log units vs 10 posit units per die slice).
+ */
+
+#include <cstdio>
+
+#include "fpga/accelerator.hh"
+#include "fpga/primitives.hh"
+#include "stats/table.hh"
+
+int
+main()
+{
+    using namespace pstat;
+    using namespace pstat::fpga;
+    stats::printBanner("Table IV: resource use of column units");
+
+    const Design lg = makeColumnUnit(Format::Log);
+    const Design ps = makeColumnUnit(Format::Posit);
+
+    stats::TextTable table({"design", "CLB", "LUT", "Register", "DSP",
+                            "SRAM", "Fmax"});
+    auto emit = [&table](const char *name, double clb, double lut,
+                         double reg, double dsp, double sram,
+                         double fmax) {
+        table.addRow({name,
+                      stats::formatInt(static_cast<long long>(clb)),
+                      stats::formatInt(static_cast<long long>(lut)),
+                      stats::formatInt(static_cast<long long>(reg)),
+                      stats::formatInt(static_cast<long long>(dsp)),
+                      stats::formatInt(static_cast<long long>(sram)),
+                      std::to_string(static_cast<int>(fmax))});
+    };
+    emit("Logarithm (8 PEs)", lg.clb(), lg.res.lut, lg.res.reg,
+         lg.res.dsp, lg.res.sram, lg.fmax_mhz);
+    emit("  (paper)", 15476, 75894, 76300, 386, 236, 341);
+    emit("posit(64,12) (8 PEs)", ps.clb(), ps.res.lut, ps.res.reg,
+         ps.res.dsp, ps.res.sram, ps.fmax_mhz);
+    emit("  (paper)", 8619, 27270, 37963, 153, 258, 330);
+    table.addRow({"reduction",
+                  stats::formatPercent(1.0 - ps.clb() / lg.clb()),
+                  stats::formatPercent(1.0 - ps.res.lut / lg.res.lut),
+                  stats::formatPercent(1.0 - ps.res.reg / lg.res.reg),
+                  stats::formatPercent(1.0 - ps.res.dsp / lg.res.dsp),
+                  stats::formatPercent(1.0 -
+                                       ps.res.sram / lg.res.sram),
+                  ""});
+    table.print();
+    std::printf("\npaper reductions: CLB 44.31%%, LUT 64.07%%, "
+                "Register 50.25%%, DSP 60.36%%, SRAM -9.32%%\n");
+
+    std::printf("\nSLR packing: %d log units vs %d posit units per "
+                "die slice (paper: at most 4 vs easily 10)\n",
+                unitsPerSlr(lg.res, lg.packing),
+                unitsPerSlr(ps.res, ps.packing));
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.
+ *
+ * Every bench prints the same rows/series the paper reports, plus
+ * the paper's numbers for side-by-side comparison. Workload sizes
+ * default to laptop scale and grow with the PSTAT_SCALE environment
+ * variable (e.g. PSTAT_SCALE=8 approaches paper scale).
+ */
+
+#ifndef PSTAT_BENCH_BENCH_UTIL_HH
+#define PSTAT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pstat::bench
+{
+
+/** Read an integer environment override. */
+inline int
+envInt(const char *name, int fallback)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr ? std::atoi(value) : fallback;
+}
+
+/** Read a double environment override. */
+inline double
+envDouble(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr ? std::atof(value) : fallback;
+}
+
+/** Global workload multiplier (PSTAT_SCALE, default 1.0). */
+inline double
+scale()
+{
+    return envDouble("PSTAT_SCALE", 1.0);
+}
+
+/** n scaled by PSTAT_SCALE with a floor of `minimum`. */
+inline int
+scaled(int n, int minimum = 1)
+{
+    const double s = static_cast<double>(n) * scale();
+    return s < minimum ? minimum : static_cast<int>(s);
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("%s\n", text.c_str());
+}
+
+} // namespace pstat::bench
+
+#endif // PSTAT_BENCH_BENCH_UTIL_HH

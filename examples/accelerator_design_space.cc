@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Accelerator design-space exploration with the FPGA model: sweep H
+ * for forward-algorithm units and PE counts for column units, report
+ * resources, achievable copies per SLR, and throughput per CLB —
+ * the study behind the paper's Section VI-C packing argument.
+ *
+ * Usage: accelerator_design_space [T]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "fpga/accelerator.hh"
+#include "fpga/primitives.hh"
+#include "pbd/dataset.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pstat;
+    using namespace pstat::fpga;
+    const uint64_t t_len =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500000;
+
+    stats::printBanner("Accelerator design-space exploration");
+
+    std::printf("--- forward-algorithm units (T = %llu) ---\n",
+                static_cast<unsigned long long>(t_len));
+    stats::TextTable fw({"design", "CLB", "DSP", "fit/SLR",
+                         "time (s)", "SLR-throughput (runs/s)"});
+    for (int h : {8, 13, 16, 32, 48, 64, 96, 128}) {
+        for (Format f : {Format::Log, Format::Posit}) {
+            const Design d = makeForwardUnit(f, h);
+            const int fit = unitsPerSlr(d.res, d.packing);
+            const double seconds = forwardSeconds(f, h, t_len);
+            fw.addRow({d.name,
+                       stats::formatInt(
+                           static_cast<long long>(d.clb())),
+                       stats::formatInt(
+                           static_cast<long long>(d.res.dsp)),
+                       std::to_string(fit),
+                       stats::formatDouble(seconds, 3),
+                       stats::formatDouble(fit / seconds, 1)});
+        }
+    }
+    fw.print();
+
+    std::printf("\n--- column units: PE-count sweep ---\n");
+    const auto datasets = pbd::makePaperDatasetStats(4000, 9);
+    const auto &ds = datasets[3];
+    stats::TextTable col({"design", "PEs", "CLB", "fit/SLR",
+                          "dataset time (s)",
+                          "SLR MMAPS (all copies)"});
+    for (int pes : {2, 4, 8, 12, 16}) {
+        for (Format f : {Format::Log, Format::Posit}) {
+            const Design d = makeColumnUnit(f, pes);
+            const int fit = unitsPerSlr(d.res, d.packing);
+            const double secs = datasetSeconds(f, ds, pes);
+            const double mmaps = datasetMmaps(f, ds, pes) * fit;
+            col.addRow({d.name, std::to_string(pes),
+                        stats::formatInt(
+                            static_cast<long long>(d.clb())),
+                        std::to_string(fit),
+                        stats::formatInt(
+                            static_cast<long long>(secs)),
+                        stats::formatInt(
+                            static_cast<long long>(mmaps))});
+        }
+    }
+    col.print();
+
+    std::printf("\ntakeaway (paper Section VI-C): the posit designs' "
+                "~2x resource advantage compounds — more copies fit "
+                "per die slice AND each copy finishes sooner, giving "
+                "~2x performance per unit resource.\n");
+    return 0;
+}

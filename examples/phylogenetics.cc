@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Phylogenetics scenario (the paper's VICAR case study): estimate an
+ * HMM likelihood over genome sites where the true value is around
+ * 2^-100,000, compare every number system, and consult the FPGA
+ * model for what an accelerator build of this pipeline would cost.
+ *
+ * Usage: phylogenetics [H] [T] [decay_bits_per_site]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/vicar.hh"
+#include "core/accuracy.hh"
+#include "fpga/accelerator.hh"
+#include "stats/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pstat;
+    const int h = argc > 1 ? std::atoi(argv[1]) : 13;
+    const size_t t_len =
+        argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1200;
+    const double decay = argc > 3 ? std::atof(argv[3]) : 90.0;
+
+    stats::printBanner("Phylogenetics (VICAR-style) likelihood study");
+    std::printf("H=%d hidden trees, T=%zu sites, ~%.0f bits lost per "
+                "site\n\n",
+                h, t_len, decay);
+
+    const auto workload = apps::makeVicarWorkload(42, h, t_len, decay);
+    const BigFloat oracle = apps::vicarOracle(workload);
+    std::printf("oracle likelihood: 2^%.2f\n\n", oracle.log2Abs());
+
+    stats::TextTable table({"number system", "result (log2)",
+                            "rel err vs oracle (log10)", "verdict"});
+    auto report = [&](const std::string &name,
+                      const apps::VicarResult &r) {
+        const double err = accuracy::relErrLog10(oracle, r.value);
+        table.addRow(
+            {name,
+             r.underflow ? "0 (underflow)"
+                         : stats::formatDouble(r.value.log2Abs(), 1),
+             r.underflow ? "-" : stats::formatDouble(err, 1),
+             r.underflow  ? "unusable"
+             : err < -9.0 ? "excellent"
+             : err < -6.0 ? "good"
+                          : "poor"});
+    };
+    report("binary64", apps::vicarLikelihood<double>(workload));
+    report("log-space (Listing 3)", apps::vicarLikelihoodLog(workload));
+    report("posit(64,9)",
+           apps::vicarLikelihood<Posit<64, 9>>(workload));
+    report("posit(64,12)",
+           apps::vicarLikelihood<Posit<64, 12>>(workload));
+    report("posit(64,18)",
+           apps::vicarLikelihood<Posit<64, 18>>(workload));
+    table.print();
+
+    // What would an accelerator for this workload cost?
+    std::printf("\naccelerator model for H=%d (T=500,000 run):\n", h);
+    for (const auto format : {fpga::Format::Log, fpga::Format::Posit}) {
+        const auto design = fpga::makeForwardUnit(format, h);
+        std::printf("  %-28s %6.0f CLBs, %7.0f LUTs, %4.0f DSPs, "
+                    "%.3f s\n",
+                    design.name.c_str(), design.clb(), design.res.lut,
+                    design.res.dsp,
+                    fpga::forwardSeconds(format, h, 500000));
+    }
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Posit explorer: pick the right posit configuration for your data.
+ *
+ * Given the magnitude of the smallest value your computation must
+ * preserve (as a base-2 exponent), the explorer prints, for each
+ * posit(64, ES): whether the value is in range, how many fraction
+ * bits survive at that magnitude (regime bits eat precision as
+ * values approach the range edge), and the measured round-trip error
+ * — the quantitative version of the paper's ES trade-off discussion.
+ *
+ * Usage: posit_explorer [log2_of_smallest_value]   (default -31000)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/accuracy.hh"
+#include "core/posit.hh"
+#include "core/posit_io.hh"
+#include "stats/rng.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace pstat;
+
+template <int ES>
+void
+explore(stats::TextTable &table, int64_t exp2, stats::Rng &rng)
+{
+    using P = Posit<64, ES>;
+    const bool in_range = exp2 >= P::scale_min && exp2 <= P::scale_max;
+
+    // Fraction bits available at this magnitude: N-1 minus sign-free
+    // body = regime run + terminator + ES.
+    const int64_t k = exp2 >= 0 ? exp2 >> ES
+                                : -((-exp2 + (1 << ES) - 1) >> ES);
+    const int regime_bits =
+        static_cast<int>((k >= 0 ? k + 1 : -k) + 1);
+    int frac_bits = 63 - regime_bits - ES;
+    if (frac_bits < 0)
+        frac_bits = 0;
+
+    // Measured: round-trip error of random values at the magnitude.
+    double worst = -400.0;
+    if (in_range) {
+        for (int i = 0; i < 200; ++i) {
+            BigFloat::Mantissa m = {rng(), rng(), rng(),
+                                    rng() | (uint64_t{1} << 63)};
+            const BigFloat v = BigFloat::fromLimbs(false, exp2 + 1, m);
+            const double err = accuracy::relErrLog10(
+                v, P::fromBigFloat(v).toBigFloat());
+            worst = std::max(worst, err);
+        }
+    }
+
+    table.addRow(
+        {P::name(), stats::formatInt(P::scale_min),
+         in_range ? "yes" : "NO",
+         in_range ? std::to_string(frac_bits) : "-",
+         in_range ? "1e" + stats::formatDouble(worst, 1) : "-"});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pstat;
+    const int64_t exp2 =
+        argc > 1 ? std::strtoll(argv[1], nullptr, 10) : -31000;
+
+    stats::printBanner("Posit configuration explorer");
+    std::printf("smallest value to preserve: 2^%lld\n",
+                static_cast<long long>(exp2));
+    std::printf("binary64 range floor: 2^-1074 -> %s\n\n",
+                exp2 >= -1074 ? "binary64 suffices"
+                              : "binary64 UNDERFLOWS (the paper's "
+                                "problem setting)");
+
+    stats::Rng rng(1234);
+    stats::TextTable table({"config", "range floor (log2)",
+                            "in range?", "fraction bits here",
+                            "worst round-trip error"});
+    explore<6>(table, exp2, rng);
+    explore<9>(table, exp2, rng);
+    explore<12>(table, exp2, rng);
+    explore<15>(table, exp2, rng);
+    explore<18>(table, exp2, rng);
+    explore<21>(table, exp2, rng);
+    table.print();
+
+    std::printf("\nreading the table: larger ES widens range but "
+                "spends bits on the exponent field; near a config's "
+                "range floor the regime eats almost all fraction "
+                "bits (paper Table I and Section III).\n");
+
+    // Bit-level view of how one value lands in two configurations.
+    const BigFloat v = BigFloat::twoPow(exp2) *
+                       BigFloat::fromDouble(1.375);
+    const auto p12 = Posit<64, 12>::fromBigFloat(v);
+    const auto p18 = Posit<64, 18>::fromBigFloat(v);
+    std::printf("\nencodings of 1.375 * 2^%lld "
+                "(sign regime exponent fraction):\n",
+                static_cast<long long>(exp2));
+    if (!p12.isZero()) {
+        const auto f = decomposeFields(p12);
+        std::printf("  posit(64,12): %s\n                (regime %d "
+                    "bits, k=%lld; fraction %d bits)\n",
+                    formatBits(p12).c_str(), f.regime_bits,
+                    static_cast<long long>(f.k), f.fraction_bits);
+    }
+    if (!p18.isZero()) {
+        const auto f = decomposeFields(p18);
+        std::printf("  posit(64,18): %s\n                (regime %d "
+                    "bits, k=%lld; fraction %d bits)\n",
+                    formatBits(p18).c_str(), f.regime_bits,
+                    static_cast<long long>(f.k), f.fraction_bits);
+    }
+    return 0;
+}

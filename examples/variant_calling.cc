@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Variant-calling scenario (the paper's LoFreq case study): compute
+ * per-column Poisson-Binomial p-values over a synthetic SARS-CoV-2-
+ * style dataset, call variants at the 2^-200 threshold in several
+ * number systems, and compare the calls against the oracle.
+ *
+ * Usage: variant_calling [columns] [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/lofreq.hh"
+#include "core/accuracy.hh"
+#include "fpga/accelerator.hh"
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace pstat;
+
+struct CallQuality
+{
+    int agree = 0;
+    int missed = 0; //!< oracle calls it, format does not
+    int spurious = 0;
+    int underflows = 0;
+};
+
+template <typename T>
+CallQuality
+evaluate(const pbd::ColumnDataset &dataset,
+         const std::vector<BigFloat> &oracle_values,
+         const std::vector<bool> &oracle_calls)
+{
+    const auto results = apps::lofreqPValues<T>(dataset);
+    std::vector<BigFloat> values;
+    values.reserve(results.size());
+    for (const auto &r : results)
+        values.push_back(r.value);
+    const auto calls = apps::callVariants(values);
+
+    CallQuality q;
+    for (size_t i = 0; i < calls.size(); ++i) {
+        if (results[i].underflow && !oracle_values[i].isZero())
+            ++q.underflows;
+        if (calls[i] == oracle_calls[i])
+            ++q.agree;
+        else if (oracle_calls[i])
+            ++q.missed;
+        else
+            ++q.spurious;
+    }
+    return q;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace pstat;
+    const int columns = argc > 1 ? std::atoi(argv[1]) : 400;
+    const uint64_t seed =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+    stats::printBanner("Variant calling (LoFreq-style) study");
+
+    pbd::DatasetConfig config;
+    config.num_columns = columns;
+    config.seed = seed;
+    const auto dataset = pbd::makeDataset(config, "sars-cov-2-like");
+
+    const auto oracle_values = apps::lofreqOracle(dataset);
+    const auto oracle_calls = apps::callVariants(oracle_values);
+    int n_calls = 0;
+    double min_log2 = 0.0;
+    for (size_t i = 0; i < oracle_calls.size(); ++i) {
+        if (oracle_calls[i])
+            ++n_calls;
+        if (!oracle_values[i].isZero())
+            min_log2 = std::min(min_log2, oracle_values[i].log2Abs());
+    }
+    std::printf("%d columns; oracle calls %d variants "
+                "(p < 2^-200); smallest p-value 2^%.0f\n\n",
+                columns, n_calls, min_log2);
+
+    stats::TextTable table({"number system", "agreements", "missed",
+                            "spurious", "underflown columns"});
+    auto report = [&](const std::string &name, const CallQuality &q) {
+        table.addRow({name, std::to_string(q.agree),
+                      std::to_string(q.missed),
+                      std::to_string(q.spurious),
+                      std::to_string(q.underflows)});
+    };
+    report("binary64", evaluate<double>(dataset, oracle_values,
+                                        oracle_calls));
+    report("log-space", evaluate<LogDouble>(dataset, oracle_values,
+                                            oracle_calls));
+    report("posit(64,9)", evaluate<Posit<64, 9>>(dataset,
+                                                 oracle_values,
+                                                 oracle_calls));
+    report("posit(64,12)", evaluate<Posit<64, 12>>(dataset,
+                                                   oracle_values,
+                                                   oracle_calls));
+    report("posit(64,18)", evaluate<Posit<64, 18>>(dataset,
+                                                   oracle_values,
+                                                   oracle_calls));
+    table.print();
+
+    std::printf("\nnote: binary64 still *calls* correctly (0 < "
+                "2^-200), but its p-values are zero — downstream "
+                "ranking/FDR control is impossible (paper Section "
+                "II). Posit/log preserve magnitudes.\n");
+
+    // Column-unit cost/time for this dataset.
+    std::printf("\ncolumn-unit model (8 PEs): log %.2f s vs posit "
+                "%.2f s on this dataset\n",
+                fpga::datasetSeconds(fpga::Format::Log, dataset),
+                fpga::datasetSeconds(fpga::Format::Posit, dataset));
+    return 0;
+}

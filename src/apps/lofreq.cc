@@ -1,0 +1,30 @@
+#include "apps/lofreq.hh"
+
+namespace pstat::apps
+{
+
+std::vector<BigFloat>
+lofreqOracle(const pbd::ColumnDataset &dataset)
+{
+    std::vector<BigFloat> out;
+    out.reserve(dataset.columns.size());
+    for (const auto &column : dataset.columns) {
+        out.push_back(
+            pbd::pvalueOracle(column.success_probs, column.k)
+                .toBigFloat());
+    }
+    return out;
+}
+
+std::vector<bool>
+callVariants(const std::vector<BigFloat> &pvalues)
+{
+    const BigFloat threshold = lofreqThreshold();
+    std::vector<bool> out;
+    out.reserve(pvalues.size());
+    for (const auto &p : pvalues)
+        out.push_back(p.isFinite() && p < threshold);
+    return out;
+}
+
+} // namespace pstat::apps

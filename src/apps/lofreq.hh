@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The LoFreq-style genomics application (variant calling via PBD).
+ *
+ * LoFreq models each alignment column with a Poisson Binomial
+ * Distribution over per-read error probabilities and calls a variant
+ * when the upper-tail p-value drops below 2^-200. The runner
+ * evaluates every column's p-value in a chosen scalar format,
+ * returning exact (BigFloat) values plus per-column validity flags;
+ * the caller compares against the oracle and the 2^-200 threshold.
+ */
+
+#ifndef PSTAT_APPS_LOFREQ_HH
+#define PSTAT_APPS_LOFREQ_HH
+
+#include <vector>
+
+#include "bigfloat/bigfloat.hh"
+#include "core/real_traits.hh"
+#include "pbd/dataset.hh"
+#include "pbd/pbd.hh"
+
+namespace pstat::apps
+{
+
+/** The variant-call significance threshold used by LoFreq. */
+inline BigFloat
+lofreqThreshold()
+{
+    return BigFloat::twoPow(-200);
+}
+
+/** One column's p-value evaluation. */
+struct PValueResult
+{
+    BigFloat value;
+    bool invalid = false;   //!< NaR / NaN
+    bool underflow = false; //!< computed exactly 0
+};
+
+/** Evaluate every column of a dataset in scalar format T. */
+template <typename T>
+std::vector<PValueResult>
+lofreqPValues(const pbd::ColumnDataset &dataset)
+{
+    std::vector<PValueResult> out;
+    out.reserve(dataset.columns.size());
+    for (const auto &column : dataset.columns) {
+        const T p = pbd::pvalue<T>(column.success_probs, column.k);
+        PValueResult r;
+        r.invalid = RealTraits<T>::isInvalid(p);
+        r.underflow = RealTraits<T>::isZero(p);
+        r.value = RealTraits<T>::toBigFloat(p);
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+/** Oracle p-values for every column. */
+std::vector<BigFloat> lofreqOracle(const pbd::ColumnDataset &dataset);
+
+/** Variant calls (p < 2^-200) from exact p-values. */
+std::vector<bool> callVariants(const std::vector<BigFloat> &pvalues);
+
+} // namespace pstat::apps
+
+#endif // PSTAT_APPS_LOFREQ_HH

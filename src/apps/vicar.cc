@@ -1,0 +1,41 @@
+#include "apps/vicar.hh"
+
+namespace pstat::apps
+{
+
+VicarWorkload
+makeVicarWorkload(uint64_t seed, int num_states, size_t sequence_len,
+                  double decay_bits)
+{
+    stats::Rng rng(seed);
+    hmm::PhyloConfig config;
+    config.num_states = num_states;
+    config.decay_bits_per_site = decay_bits;
+
+    VicarWorkload out;
+    out.model = hmm::makePhyloModel(rng, config);
+    out.obs = hmm::sampleUniformObservations(
+        rng, config.num_symbols, sequence_len);
+    return out;
+}
+
+VicarResult
+vicarLikelihoodLog(const VicarWorkload &workload)
+{
+    const auto outcome =
+        hmm::forwardLogNary(workload.model, workload.obs);
+    VicarResult out;
+    out.invalid = outcome.likelihood.isNaN();
+    out.underflow = outcome.likelihood.isZero();
+    out.value = outcome.likelihood.toBigFloat();
+    return out;
+}
+
+BigFloat
+vicarOracle(const VicarWorkload &workload)
+{
+    return hmm::forwardOracle(workload.model, workload.obs)
+        .likelihood.toBigFloat();
+}
+
+} // namespace pstat::apps

@@ -1,0 +1,615 @@
+#include "bigfloat/bigfloat.hh"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace pstat
+{
+
+namespace
+{
+
+using U128 = unsigned __int128;
+using Limbs5 = std::array<uint64_t, 5>;
+
+/** Compare 4-limb magnitudes: -1, 0, +1. */
+int
+cmpMant(const BigFloat::Mantissa &a, const BigFloat::Mantissa &b)
+{
+    for (int i = BigFloat::num_limbs - 1; i >= 0; --i) {
+        if (a[i] != b[i])
+            return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+/** a += b over 5 limbs; returns carry-out bit. */
+uint64_t
+add5(Limbs5 &a, const Limbs5 &b)
+{
+    U128 carry = 0;
+    for (int i = 0; i < 5; ++i) {
+        const U128 s = static_cast<U128>(a[i]) + b[i] + carry;
+        a[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+    }
+    return static_cast<uint64_t>(carry);
+}
+
+/** a -= b over 5 limbs; requires a >= b. */
+void
+sub5(Limbs5 &a, const Limbs5 &b)
+{
+    uint64_t borrow = 0;
+    for (int i = 0; i < 5; ++i) {
+        const uint64_t bi = b[i] + borrow;
+        // Borrow chains when b[i] + borrow wrapped or a[i] < bi.
+        const uint64_t wrapped = (bi < b[i]) ? 1 : 0;
+        const uint64_t next = (a[i] < bi) ? 1 : 0;
+        a[i] -= bi;
+        borrow = wrapped | next;
+    }
+    assert(borrow == 0);
+}
+
+int
+cmp5(const Limbs5 &a, const Limbs5 &b)
+{
+    for (int i = 4; i >= 0; --i) {
+        if (a[i] != b[i])
+            return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+bool
+isZero5(const Limbs5 &a)
+{
+    for (uint64_t w : a) {
+        if (w != 0)
+            return false;
+    }
+    return true;
+}
+
+/** Shift 5 limbs right by n (0 <= n < 320); OR dropped bits into sticky. */
+void
+shr5(Limbs5 &a, int n, bool &sticky)
+{
+    if (n <= 0)
+        return;
+    const int limb_shift = n / 64;
+    const int bit_shift = n % 64;
+    for (int i = 0; i < limb_shift && i < 5; ++i) {
+        if (a[i] != 0)
+            sticky = true;
+    }
+    if (limb_shift > 0) {
+        for (int i = 0; i < 5; ++i)
+            a[i] = (i + limb_shift < 5) ? a[i + limb_shift] : 0;
+    }
+    if (bit_shift > 0) {
+        const uint64_t dropped_mask = (1ULL << bit_shift) - 1;
+        if ((a[0] & dropped_mask) != 0)
+            sticky = true;
+        for (int i = 0; i < 5; ++i) {
+            const uint64_t hi = (i + 1 < 5) ? a[i + 1] : 0;
+            a[i] = (a[i] >> bit_shift) |
+                   (bit_shift == 0 ? 0 : hi << (64 - bit_shift));
+        }
+    }
+}
+
+/** Shift 5 limbs left by n (0 <= n < 320); high bits fall off. */
+void
+shl5(Limbs5 &a, int n)
+{
+    if (n <= 0)
+        return;
+    const int limb_shift = n / 64;
+    const int bit_shift = n % 64;
+    if (limb_shift > 0) {
+        for (int i = 4; i >= 0; --i)
+            a[i] = (i - limb_shift >= 0) ? a[i - limb_shift] : 0;
+    }
+    if (bit_shift > 0) {
+        for (int i = 4; i >= 0; --i) {
+            const uint64_t lo = (i - 1 >= 0) ? a[i - 1] : 0;
+            a[i] = (a[i] << bit_shift) | (lo >> (64 - bit_shift));
+        }
+    }
+}
+
+/** Leading zero count over 320 bits; 320 when all zero. */
+int
+clz5(const Limbs5 &a)
+{
+    for (int i = 4; i >= 0; --i) {
+        if (a[i] != 0)
+            return (4 - i) * 64 + __builtin_clzll(a[i]);
+    }
+    return 320;
+}
+
+} // namespace
+
+BigFloat
+BigFloat::nan()
+{
+    BigFloat out;
+    out.kind_ = Kind::NaN;
+    return out;
+}
+
+BigFloat
+BigFloat::roundFrom320(bool negative, int64_t exp,
+                       const std::array<uint64_t, 5> &raw, bool sticky)
+{
+    Limbs5 r = raw;
+    if (isZero5(r)) {
+        // Callers guarantee sticky-only results cannot occur (see the
+        // alignment analysis in addMagnitude/subMagnitude); an all-zero
+        // window is therefore an exact zero.
+        assert(!sticky);
+        return BigFloat();
+    }
+
+    const int lz = clz5(r);
+    shl5(r, lz);
+    exp -= lz;
+
+    // Keep bits 319..64 as the mantissa; bit 63 is the guard and the
+    // rest (plus the incoming sticky) decide ties.
+    const bool guard = (r[0] >> 63) & 1;
+    const bool lower = (r[0] & ((1ULL << 63) - 1)) != 0 || sticky;
+
+    BigFloat out;
+    out.kind_ = Kind::Finite;
+    out.negative_ = negative;
+    for (int i = 0; i < num_limbs; ++i)
+        out.mant_[i] = r[i + 1];
+    out.exp_ = exp;
+
+    const bool lsb_odd = (out.mant_[0] & 1) != 0;
+    if (guard && (lower || lsb_odd)) {
+        // Round up; on mantissa overflow renormalize to 0.5 * 2^(e+1).
+        U128 carry = 1;
+        for (int i = 0; i < num_limbs && carry != 0; ++i) {
+            const U128 s = static_cast<U128>(out.mant_[i]) + carry;
+            out.mant_[i] = static_cast<uint64_t>(s);
+            carry = s >> 64;
+        }
+        if (carry != 0) {
+            out.mant_ = {};
+            out.mant_[num_limbs - 1] = 1ULL << 63;
+            out.exp_ += 1;
+        }
+    }
+    return out;
+}
+
+BigFloat
+BigFloat::fromDouble(double value)
+{
+    if (std::isnan(value) || std::isinf(value))
+        return nan();
+    if (value == 0.0)
+        return BigFloat();
+
+    int e = 0;
+    const double frac = std::frexp(std::fabs(value), &e); // in [0.5, 1)
+    const auto sig = static_cast<uint64_t>(
+        std::ldexp(frac, 53)); // 53-bit integer, top bit set
+    BigFloat out;
+    out.kind_ = Kind::Finite;
+    out.negative_ = std::signbit(value);
+    out.exp_ = e;
+    out.mant_ = {};
+    out.mant_[num_limbs - 1] = sig << 11; // left-align 53 bits in 64
+    return out;
+}
+
+BigFloat
+BigFloat::fromInt(int64_t value)
+{
+    if (value == 0)
+        return BigFloat();
+    const bool neg = value < 0;
+    const auto mag = neg ? -static_cast<uint64_t>(value)
+                         : static_cast<uint64_t>(value);
+    const int lz = __builtin_clzll(mag);
+    BigFloat out;
+    out.kind_ = Kind::Finite;
+    out.negative_ = neg;
+    out.exp_ = 64 - lz;
+    out.mant_ = {};
+    out.mant_[num_limbs - 1] = mag << lz;
+    return out;
+}
+
+BigFloat
+BigFloat::fromSig64(bool negative, int64_t exp2, uint64_t sig)
+{
+    assert(sig != 0);
+    const int lz = __builtin_clzll(sig);
+    assert(lz == 0 && "significand must have its MSB set");
+    (void)lz;
+    BigFloat out;
+    out.kind_ = Kind::Finite;
+    out.negative_ = negative;
+    out.exp_ = exp2 + 1; // value in [0.5, 1) * 2^(exp2 + 1)
+    out.mant_ = {};
+    out.mant_[num_limbs - 1] = sig;
+    return out;
+}
+
+BigFloat
+BigFloat::fromLimbs(bool negative, int64_t exp, const Mantissa &m)
+{
+    assert((m[num_limbs - 1] >> 63) == 1 && "mantissa must be normalized");
+    BigFloat out;
+    out.kind_ = Kind::Finite;
+    out.negative_ = negative;
+    out.exp_ = exp;
+    out.mant_ = m;
+    return out;
+}
+
+BigFloat
+BigFloat::divSmall(uint64_t divisor) const
+{
+    assert(divisor != 0);
+    if (isNaN() || isZero())
+        return *this;
+
+    // Limb-wise short division producing one extra quotient limb so
+    // the shared rounding path sees 320 bits plus a sticky remainder.
+    Limbs5 quot = {};
+    U128 rem = 0;
+    for (int i = num_limbs - 1; i >= 0; --i) {
+        const U128 cur = (rem << 64) | mant_[i];
+        quot[i + 1] = static_cast<uint64_t>(cur / divisor);
+        rem = cur % divisor;
+    }
+    const U128 cur = rem << 64;
+    quot[0] = static_cast<uint64_t>(cur / divisor);
+    rem = cur % divisor;
+
+    // value = quot * 2^(exp_ - 320).
+    return roundFrom320(negative_, exp_, quot, rem != 0);
+}
+
+BigFloat
+BigFloat::twoPow(int64_t e)
+{
+    BigFloat out;
+    out.kind_ = Kind::Finite;
+    out.negative_ = false;
+    out.exp_ = e + 1;
+    out.mant_ = {};
+    out.mant_[num_limbs - 1] = 1ULL << 63;
+    return out;
+}
+
+double
+BigFloat::toDouble() const
+{
+    if (isNaN())
+        return std::numeric_limits<double>::quiet_NaN();
+    if (isZero())
+        return 0.0;
+
+    // Precision available in the target double: 53 bits for normal
+    // results, fewer once the value dips into the subnormal range.
+    const int64_t value_exp = exp_ - 1; // floor(log2 |v|)
+    int prec = 53;
+    if (value_exp < -1022)
+        prec = 53 + static_cast<int>(value_exp + 1022);
+    if (prec <= 0) {
+        // Below half the smallest subnormal: rounds to zero. At exactly
+        // half (prec == 0 with only the implied bit) RNE also gives 0.
+        return negative_ ? -0.0 : 0.0;
+    }
+    if (value_exp > 1023)
+        return negative_ ? -HUGE_VAL : HUGE_VAL;
+
+    // Round the 256-bit mantissa to prec bits (RNE).
+    const int drop = mantissa_bits - prec;
+    uint64_t kept = 0;
+    // Extract top prec bits.
+    for (int bit = 0; bit < prec; ++bit) {
+        const int idx = mantissa_bits - 1 - bit;
+        const uint64_t word = mant_[idx / 64];
+        kept = (kept << 1) | ((word >> (idx % 64)) & 1);
+    }
+    // Guard and sticky from the dropped bits.
+    bool guard = false;
+    bool sticky = false;
+    for (int bit = 0; bit < drop; ++bit) {
+        const int idx = drop - 1 - bit;
+        const uint64_t word = mant_[idx / 64];
+        const bool set = ((word >> (idx % 64)) & 1) != 0;
+        if (bit == 0)
+            guard = set;
+        else
+            sticky = sticky || set;
+    }
+    if (guard && (sticky || (kept & 1)))
+        kept += 1; // may become 2^prec; ldexp absorbs it exactly
+
+    const double mag =
+        std::ldexp(static_cast<double>(kept),
+                   static_cast<int>(value_exp + 1 - prec));
+    return negative_ ? -mag : mag;
+}
+
+double
+BigFloat::log2Abs() const
+{
+    assert(isFinite() && !isZero());
+    // Top limb as a fraction in [0.5, 1).
+    const double frac =
+        static_cast<double>(mant_[num_limbs - 1]) * 0x1.0p-64 +
+        static_cast<double>(mant_[num_limbs - 2]) * 0x1.0p-128;
+    return static_cast<double>(exp_) + std::log2(frac);
+}
+
+double
+BigFloat::log10Abs() const
+{
+    return log2Abs() * 0.30102999566398119521; // log10(2)
+}
+
+BigFloat::Top64
+BigFloat::top64() const
+{
+    assert(isFinite() && !isZero());
+    Top64 out;
+    out.negative = negative_;
+    out.exp2 = exp_ - 1;
+    out.sig = mant_[num_limbs - 1];
+    out.sticky = false;
+    for (int i = 0; i < num_limbs - 1; ++i) {
+        if (mant_[i] != 0)
+            out.sticky = true;
+    }
+    return out;
+}
+
+std::string
+BigFloat::dump() const
+{
+    if (isNaN())
+        return "NaN";
+    if (isZero())
+        return negative_ ? "-0" : "0";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%s0x%016llx%016llx%016llx%016llxp%lld",
+                  negative_ ? "-" : "",
+                  static_cast<unsigned long long>(mant_[3]),
+                  static_cast<unsigned long long>(mant_[2]),
+                  static_cast<unsigned long long>(mant_[1]),
+                  static_cast<unsigned long long>(mant_[0]),
+                  static_cast<long long>(exp_ - mantissa_bits));
+    return buf;
+}
+
+BigFloat
+BigFloat::addMagnitude(const BigFloat &a, const BigFloat &b, bool negative)
+{
+    // |a| >= |b| is arranged by the caller via exponent ordering only;
+    // for addition the order does not matter, only the alignment does.
+    const BigFloat &hi = (a.exp_ >= b.exp_) ? a : b;
+    const BigFloat &lo = (a.exp_ >= b.exp_) ? b : a;
+    const int64_t diff = hi.exp_ - lo.exp_;
+
+    Limbs5 acc = {0, hi.mant_[0], hi.mant_[1], hi.mant_[2], hi.mant_[3]};
+    Limbs5 small = {0, lo.mant_[0], lo.mant_[1], lo.mant_[2],
+                    lo.mant_[3]};
+    bool sticky = false;
+    if (diff >= 320) {
+        small = {};
+        sticky = true;
+    } else {
+        shr5(small, static_cast<int>(diff), sticky);
+    }
+
+    int64_t exp = hi.exp_;
+    const uint64_t carry = add5(acc, small);
+    if (carry != 0) {
+        shr5(acc, 1, sticky);
+        acc[4] |= 1ULL << 63;
+        exp += 1;
+    }
+    return roundFrom320(negative, exp, acc, sticky);
+}
+
+BigFloat
+BigFloat::subMagnitude(const BigFloat &a, const BigFloat &b)
+{
+    // Computes |a| - |b| with sign of a; caller guarantees |a| > |b|.
+    const int64_t diff = a.exp_ - b.exp_;
+    assert(diff >= 0);
+
+    Limbs5 acc = {0, a.mant_[0], a.mant_[1], a.mant_[2], a.mant_[3]};
+    Limbs5 small = {0, b.mant_[0], b.mant_[1], b.mant_[2], b.mant_[3]};
+    bool sticky = false;
+    if (diff >= 320) {
+        small = {};
+        sticky = true;
+    } else {
+        shr5(small, static_cast<int>(diff), sticky);
+    }
+
+    sub5(acc, small);
+    if (sticky) {
+        // The true subtrahend was slightly larger than its truncation,
+        // so the true result lies in (acc-1, acc): borrow one and keep
+        // sticky so rounding sees a value strictly between
+        // representable neighbours. acc >= 2^317 here (diff >= 65
+        // whenever sticky is possible), so no underflow.
+        const Limbs5 one = {1, 0, 0, 0, 0};
+        sub5(acc, one);
+    }
+    return roundFrom320(a.negative_, a.exp_, acc, sticky);
+}
+
+BigFloat
+operator+(const BigFloat &a, const BigFloat &b)
+{
+    if (a.isNaN() || b.isNaN())
+        return BigFloat::nan();
+    if (a.isZero())
+        return b;
+    if (b.isZero())
+        return a;
+
+    if (a.negative_ == b.negative_)
+        return BigFloat::addMagnitude(a, b, a.negative_);
+
+    // Opposite signs: subtract the smaller magnitude from the larger.
+    const int mag_cmp = (a.exp_ != b.exp_)
+                            ? (a.exp_ < b.exp_ ? -1 : 1)
+                            : cmpMant(a.mant_, b.mant_);
+    if (mag_cmp == 0)
+        return BigFloat(); // exact cancellation
+    if (mag_cmp > 0)
+        return BigFloat::subMagnitude(a, b);
+    return BigFloat::subMagnitude(b, a);
+}
+
+BigFloat
+operator-(const BigFloat &a, const BigFloat &b)
+{
+    return a + (-b);
+}
+
+BigFloat
+BigFloat::operator-() const
+{
+    if (isNaN() || isZero())
+        return *this;
+    BigFloat out = *this;
+    out.negative_ = !out.negative_;
+    return out;
+}
+
+BigFloat
+BigFloat::abs() const
+{
+    BigFloat out = *this;
+    out.negative_ = false;
+    return out;
+}
+
+BigFloat
+operator*(const BigFloat &a, const BigFloat &b)
+{
+    if (a.isNaN() || b.isNaN())
+        return BigFloat::nan();
+    if (a.isZero() || b.isZero())
+        return BigFloat();
+
+    // 256 x 256 -> 512-bit product (schoolbook over 64-bit limbs).
+    std::array<uint64_t, 8> prod = {};
+    for (int i = 0; i < BigFloat::num_limbs; ++i) {
+        U128 carry = 0;
+        for (int j = 0; j < BigFloat::num_limbs; ++j) {
+            const U128 cur = static_cast<U128>(a.mant_[i]) * b.mant_[j] +
+                             prod[i + j] + carry;
+            prod[i + j] = static_cast<uint64_t>(cur);
+            carry = cur >> 64;
+        }
+        prod[i + BigFloat::num_limbs] = static_cast<uint64_t>(carry);
+    }
+
+    // Route the top 320 bits plus a sticky for the rest through the
+    // shared rounding path. value = prod * 2^(expSum - 512).
+    Limbs5 top = {prod[3], prod[4], prod[5], prod[6], prod[7]};
+    const bool sticky = prod[0] != 0 || prod[1] != 0 || prod[2] != 0;
+    return BigFloat::roundFrom320(a.negative_ != b.negative_,
+                                  a.exp_ + b.exp_, top, sticky);
+}
+
+BigFloat
+operator/(const BigFloat &a, const BigFloat &b)
+{
+    if (a.isNaN() || b.isNaN() || b.isZero())
+        return BigFloat::nan();
+    if (a.isZero())
+        return BigFloat();
+
+    // Bit-serial long division: q = floor(mantA * 2^257 / mantB),
+    // feeding the 513 numerator bits MSB-first so the remainder stays
+    // below the divisor throughout. q is in [2^256, 2^258) because
+    // mantA/mantB lies in (1/2, 2); RNE happens in roundFrom320.
+    const Limbs5 den = {b.mant_[0], b.mant_[1], b.mant_[2], b.mant_[3],
+                        0};
+    Limbs5 rem = {};
+    Limbs5 quot = {};
+    for (int i = 0; i < 256 + 257; ++i) {
+        uint64_t in_bit = 0;
+        if (i < 256) {
+            const int idx = 255 - i;
+            in_bit = (a.mant_[idx / 64] >> (idx % 64)) & 1;
+        }
+        shl5(quot, 1);
+        shl5(rem, 1);
+        rem[0] |= in_bit;
+        if (cmp5(rem, den) >= 0) {
+            sub5(rem, den);
+            quot[0] |= 1;
+        }
+    }
+    const bool sticky = !isZero5(rem);
+    // quotient value = quot * 2^(expA - expB - 257)
+    //               = quot * 2^((expA - expB + 63) - 320).
+    return BigFloat::roundFrom320(a.negative_ != b.negative_,
+                                  a.exp_ - b.exp_ + 63, quot, sticky);
+}
+
+bool
+operator==(const BigFloat &a, const BigFloat &b)
+{
+    if (a.isNaN() || b.isNaN())
+        return false;
+    if (a.isZero() && b.isZero())
+        return true;
+    return a.kind_ == b.kind_ && a.negative_ == b.negative_ &&
+           a.exp_ == b.exp_ && a.mant_ == b.mant_;
+}
+
+bool
+operator<(const BigFloat &a, const BigFloat &b)
+{
+    if (a.isNaN() || b.isNaN())
+        return false;
+    if (a.isZero())
+        return !b.isZero() && !b.negative_;
+    if (b.isZero())
+        return a.negative_;
+    if (a.negative_ != b.negative_)
+        return a.negative_;
+
+    int mag_cmp;
+    if (a.exp_ != b.exp_)
+        mag_cmp = a.exp_ < b.exp_ ? -1 : 1;
+    else
+        mag_cmp = cmpMant(a.mant_, b.mant_);
+    return a.negative_ ? mag_cmp > 0 : mag_cmp < 0;
+}
+
+BigFloat
+BigFloat::relativeError(const BigFloat &exact, const BigFloat &approx)
+{
+    if (exact.isNaN() || approx.isNaN())
+        return nan();
+    if (exact.isZero())
+        return approx.isZero() ? BigFloat() : nan();
+    return ((exact - approx).abs()) / exact.abs();
+}
+
+} // namespace pstat

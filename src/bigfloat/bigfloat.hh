@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Arbitrary-precision binary floating point (the "MPFR" substitute).
+ *
+ * The paper uses 256-bit GNU MPFR as the ground-truth oracle for all
+ * accuracy measurements. PositStat re-implements the needed subset
+ * from scratch: a 256-bit-mantissa binary float with correctly
+ * rounded (round-to-nearest-even) add/sub/mul/div, plus ln/exp/pow
+ * accurate to well over 230 bits. Since every format under test
+ * carries at most ~60 significant bits and the measured relative
+ * errors are in the 1e-8..1e-18 range, this oracle is interchangeable
+ * with MPFR-256 for the paper's experiments (see DESIGN.md §1).
+ *
+ * Representation: value = (-1)^neg * 0.m * 2^exp with the 256-bit
+ * mantissa m normalized to [2^255, 2^256) (interpreted as a binary
+ * fraction in [0.5, 1)), matching MPFR's convention. Special kinds
+ * are Zero and NaN (no infinities: overflow cannot occur at the
+ * exponent magnitudes used in these workloads, and division by zero
+ * yields NaN).
+ */
+
+#ifndef PSTAT_BIGFLOAT_BIGFLOAT_HH
+#define PSTAT_BIGFLOAT_BIGFLOAT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace pstat
+{
+
+/**
+ * A 256-bit-mantissa binary floating-point number with RNE rounding.
+ */
+class BigFloat
+{
+  public:
+    /** Number of mantissa bits (four 64-bit limbs). */
+    static constexpr int mantissa_bits = 256;
+    /** Number of 64-bit limbs in the mantissa. */
+    static constexpr int num_limbs = 4;
+
+    /** Mantissa limbs, little-endian (limb 0 is least significant). */
+    using Mantissa = std::array<uint64_t, num_limbs>;
+
+    /** Constructs zero. */
+    constexpr BigFloat() = default;
+
+    /** @name Factories */
+    /// @{
+    static BigFloat fromDouble(double value);
+    static BigFloat fromInt(int64_t value);
+    static BigFloat zero() { return BigFloat(); }
+    static BigFloat one() { return fromInt(1); }
+    static BigFloat nan();
+
+    /**
+     * Build from a 64-bit significand with its MSB set.
+     * The value is (-1)^negative * sig * 2^(exp2 - 63), i.e. exp2 is
+     * the base-2 exponent of the value (floor(log2 |v|)). Used for
+     * exact posit -> BigFloat conversion.
+     */
+    static BigFloat fromSig64(bool negative, int64_t exp2, uint64_t sig);
+
+    /** Build 2^e exactly. */
+    static BigFloat twoPow(int64_t e);
+
+    /**
+     * Build from raw limbs: value = (-1)^negative * m * 2^(exp - 256)
+     * with the top bit of m set (m interpreted as a fraction in
+     * [0.5, 1)). Used to synthesize full-precision random operands.
+     */
+    static BigFloat fromLimbs(bool negative, int64_t exp,
+                              const Mantissa &m);
+    /// @}
+
+    /** @name Predicates and accessors */
+    /// @{
+    bool isZero() const { return kind_ == Kind::Zero; }
+    bool isNaN() const { return kind_ == Kind::NaN; }
+    bool isFinite() const { return kind_ != Kind::NaN; }
+    bool isNegative() const { return negative_; }
+
+    /** floor(log2 |v|); requires finite nonzero. */
+    int64_t exponent() const { return exp_ - 1; }
+
+    /** Raw mantissa limbs (normalized, top bit set) — for tests. */
+    const Mantissa &mantissa() const { return mant_; }
+    /// @}
+
+    /** @name Conversions */
+    /// @{
+    /** Round to nearest double (RNE), with correct subnormal handling. */
+    double toDouble() const;
+
+    /**
+     * log2 |v| as a double (exponent plus fractional part); useful for
+     * values far outside double range. Requires finite nonzero.
+     */
+    double log2Abs() const;
+
+    /** log10 |v| as a double. Requires finite nonzero. */
+    double log10Abs() const;
+
+    /**
+     * Top 64 mantissa bits (MSB set), whether any lower bit is set,
+     * and the value's base-2 exponent — for BigFloat -> posit
+     * conversion with correct rounding.
+     */
+    struct Top64
+    {
+        bool negative;
+        int64_t exp2; //!< floor(log2 |v|)
+        uint64_t sig; //!< top 64 mantissa bits, MSB set
+        bool sticky;  //!< true if any bit below the top 64 is set
+    };
+    Top64 top64() const;
+
+    /** Debug rendering: sign, hex mantissa, exponent. */
+    std::string dump() const;
+    /// @}
+
+    /** @name Arithmetic (all correctly rounded RNE) */
+    /// @{
+    friend BigFloat operator+(const BigFloat &a, const BigFloat &b);
+    friend BigFloat operator-(const BigFloat &a, const BigFloat &b);
+    friend BigFloat operator*(const BigFloat &a, const BigFloat &b);
+    friend BigFloat operator/(const BigFloat &a, const BigFloat &b);
+    BigFloat operator-() const;
+    BigFloat abs() const;
+
+    BigFloat &operator+=(const BigFloat &o) { return *this = *this + o; }
+    BigFloat &operator-=(const BigFloat &o) { return *this = *this - o; }
+    BigFloat &operator*=(const BigFloat &o) { return *this = *this * o; }
+    BigFloat &operator/=(const BigFloat &o) { return *this = *this / o; }
+
+    /**
+     * Fast correctly rounded division by a small positive integer
+     * (one pass of limb-wise division instead of bit-serial long
+     * division); used heavily by the ln/exp series.
+     */
+    BigFloat divSmall(uint64_t divisor) const;
+    /// @}
+
+    /** @name Comparisons (NaN compares unequal to everything) */
+    /// @{
+    friend bool operator==(const BigFloat &a, const BigFloat &b);
+    friend bool operator!=(const BigFloat &a, const BigFloat &b)
+    {
+        return !(a == b);
+    }
+    friend bool operator<(const BigFloat &a, const BigFloat &b);
+    friend bool operator>(const BigFloat &a, const BigFloat &b)
+    {
+        return b < a;
+    }
+    friend bool operator<=(const BigFloat &a, const BigFloat &b)
+    {
+        return a == b || a < b;
+    }
+    friend bool operator>=(const BigFloat &a, const BigFloat &b)
+    {
+        return b <= a;
+    }
+    /// @}
+
+    /** @name Transcendental functions (>= ~230 correct bits) */
+    /// @{
+    /** Natural logarithm; NaN for non-positive input. */
+    static BigFloat ln(const BigFloat &x);
+    /** Exponential. Handles |x| up to ~2^60 (exponent range only). */
+    static BigFloat exp(const BigFloat &x);
+    /** Integer power by binary exponentiation. */
+    static BigFloat powInt(const BigFloat &base, int64_t n);
+    /** Square root (Newton; faithful to ~250 bits). */
+    static BigFloat sqrt(const BigFloat &x);
+    /** The constant ln 2 to full precision. */
+    static const BigFloat &ln2();
+    /// @}
+
+    /**
+     * Relative error |exact - approx| / |exact| as a BigFloat.
+     * If exact is zero: returns zero when approx is also zero, NaN
+     * otherwise (caller decides how to report). NaN inputs give NaN.
+     */
+    static BigFloat relativeError(const BigFloat &exact,
+                                  const BigFloat &approx);
+
+  private:
+    enum class Kind : uint8_t { Zero, Finite, NaN };
+
+    /**
+     * Normalize + round a 5-limb (320-bit) magnitude with sticky into
+     * this object. The raw value is raw * 2^(exp - 320).
+     */
+    static BigFloat roundFrom320(bool negative, int64_t exp,
+                                 const std::array<uint64_t, 5> &raw,
+                                 bool sticky);
+
+    static BigFloat addMagnitude(const BigFloat &a, const BigFloat &b,
+                                 bool negative);
+    static BigFloat subMagnitude(const BigFloat &a, const BigFloat &b);
+
+    Mantissa mant_ = {};
+    int64_t exp_ = 0;
+    bool negative_ = false;
+    Kind kind_ = Kind::Zero;
+};
+
+} // namespace pstat
+
+#endif // PSTAT_BIGFLOAT_BIGFLOAT_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * BigFloat transcendental functions: ln, exp, integer powers, sqrt.
+ *
+ * Accuracy target: >= ~230 correct bits out of 256, i.e. roughly 170
+ * bits of headroom over the most precise 64-bit format measured by
+ * the paper. Strategy:
+ *   - ln:  argument reduction to m in [0.5, 1) plus e*ln2, then the
+ *          atanh series ln m = 2 * atanh((m-1)/(m+1)), |t| <= 1/3.
+ *   - exp: reduction x = k*ln2 + r with |r| <= ln2/2, further scaled
+ *          by 2^-8, Taylor series, then 8 squarings.
+ *   - ln2: 2 * atanh(1/3), the same series with t = 1/3.
+ */
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "bigfloat/bigfloat.hh"
+
+namespace pstat
+{
+
+namespace
+{
+
+/**
+ * 2 * atanh(t) = 2 * sum_{k>=0} t^(2k+1) / (2k+1), for |t| <= 1/3.
+ * With |t| <= 1/3 each term shrinks by >= 9x (3.17 bits), so ~90
+ * iterations reach 2^-280 and the loop exit below always triggers.
+ */
+BigFloat
+atanhSeriesTimes2(const BigFloat &t)
+{
+    const BigFloat t2 = t * t;
+    BigFloat term = t;
+    BigFloat sum = t;
+    for (int64_t k = 1; k < 400; ++k) {
+        term *= t2;
+        const BigFloat contrib =
+            term.divSmall(static_cast<uint64_t>(2 * k + 1));
+        if (contrib.isZero() ||
+            contrib.exponent() < sum.exponent() - 280) {
+            break;
+        }
+        sum += contrib;
+    }
+    return sum + sum;
+}
+
+} // namespace
+
+const BigFloat &
+BigFloat::ln2()
+{
+    static const BigFloat value = [] {
+        const BigFloat third = fromInt(1) / fromInt(3);
+        return atanhSeriesTimes2(third);
+    }();
+    return value;
+}
+
+BigFloat
+BigFloat::ln(const BigFloat &x)
+{
+    if (x.isNaN() || x.isZero() || x.isNegative())
+        return nan();
+
+    // x = m * 2^e with m in [0.5, 1).
+    const int64_t e = x.exp_;
+    BigFloat m = x;
+    m.exp_ = 0;
+
+    // ln m via 2*atanh((m-1)/(m+1)); m in [0.5,1) puts t in [-1/3, 0).
+    const BigFloat num = m - one();
+    const BigFloat den = m + one();
+    const BigFloat ln_m =
+        num.isZero() ? BigFloat() : atanhSeriesTimes2(num / den);
+
+    if (e == 0)
+        return ln_m;
+    return ln_m + fromInt(e) * ln2();
+}
+
+BigFloat
+BigFloat::exp(const BigFloat &x)
+{
+    if (x.isNaN())
+        return nan();
+    if (x.isZero())
+        return one();
+
+    // k = round(x / ln2). The workloads exercise |x| up to ~3e6
+    // (log-likelihoods of 2^-2.9M), far within double's exact integer
+    // range, so computing k in double is safe.
+    const double xd = x.toDouble();
+    assert(std::isfinite(xd) && std::fabs(xd) < 9e15);
+    const auto k = static_cast<int64_t>(std::llround(xd / M_LN2));
+
+    // r = x - k*ln2, |r| <= ~0.3466.
+    const BigFloat r = x - fromInt(k) * ln2();
+
+    // Scale down by 2^8 so the Taylor series needs ~25 terms.
+    constexpr int scale_steps = 8;
+    const BigFloat rs = r * twoPow(-scale_steps);
+
+    BigFloat term = one();
+    BigFloat sum = one();
+    for (int64_t n = 1; n < 200; ++n) {
+        term = (term * rs).divSmall(static_cast<uint64_t>(n));
+        if (term.isZero() || term.exponent() < -300)
+            break;
+        sum += term;
+    }
+    for (int i = 0; i < scale_steps; ++i)
+        sum *= sum;
+
+    // exp(x) = exp(r) * 2^k.
+    sum.exp_ += k;
+    return sum;
+}
+
+BigFloat
+BigFloat::powInt(const BigFloat &base, int64_t n)
+{
+    if (base.isNaN())
+        return nan();
+    if (n == 0)
+        return one();
+    if (n < 0)
+        return one() / powInt(base, -n);
+
+    BigFloat acc = one();
+    BigFloat sq = base;
+    uint64_t remaining = static_cast<uint64_t>(n);
+    while (remaining != 0) {
+        if (remaining & 1)
+            acc *= sq;
+        remaining >>= 1;
+        if (remaining != 0)
+            sq *= sq;
+    }
+    return acc;
+}
+
+BigFloat
+BigFloat::sqrt(const BigFloat &x)
+{
+    if (x.isNaN() || x.isNegative())
+        return x.isZero() ? BigFloat() : nan();
+    if (x.isZero())
+        return BigFloat();
+
+    // x = m' * 2^(2h) with m' in [0.5, 2): sqrt(x) = sqrt(m') * 2^h.
+    const int64_t e = x.exp_;
+    const int64_t h = (e >= 0) ? e / 2 : -((-e + 1) / 2);
+    BigFloat m = x;
+    m.exp_ = e - 2 * h; // 0 or 1 -> m in [0.5, 2)
+
+    // Newton iterations on s = (s + m/s) / 2, doubling precision each
+    // step from a 53-bit double seed: 4 steps exceed 256 bits.
+    BigFloat s = fromDouble(std::sqrt(m.toDouble()));
+    for (int i = 0; i < 4; ++i)
+        s = (s + m / s) * twoPow(-1);
+
+    s.exp_ += h;
+    return s;
+}
+
+} // namespace pstat

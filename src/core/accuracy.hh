@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Accuracy measurement against the BigFloat oracle.
+ *
+ * The paper measures numerical accuracy as the relative error
+ * |x - y| / |x| where x is the 256-bit oracle result and y the 64-bit
+ * format's result, reported on a log10 axis. This header provides
+ * that measurement plus the per-operation harness used by Figure 3:
+ * operands are materialized in the oracle, converted into each format
+ * under test, combined with the format's own operator, converted back
+ * exactly, and compared.
+ */
+
+#ifndef PSTAT_CORE_ACCURACY_HH
+#define PSTAT_CORE_ACCURACY_HH
+
+#include <cmath>
+
+#include "bigfloat/bigfloat.hh"
+#include "core/real_traits.hh"
+
+namespace pstat::accuracy
+{
+
+/** Sentinel: the computed result was exactly equal to the oracle's. */
+constexpr double exact_log10 = -400.0;
+/** Sentinel: result invalid (NaR/NaN) or underflowed to 0. */
+constexpr double invalid_log10 = 400.0;
+
+/**
+ * log10 of the relative error of got vs exact, clamped to the
+ * sentinels above. An exact match reports exact_log10; a NaN/NaR or
+ * a spurious zero reports invalid_log10.
+ */
+inline double
+relErrLog10(const BigFloat &exact, const BigFloat &got)
+{
+    if (exact.isNaN() || got.isNaN())
+        return invalid_log10;
+    if (exact.isZero())
+        return got.isZero() ? exact_log10 : invalid_log10;
+    if (got.isZero())
+        return invalid_log10; // underflow of a nonzero true value
+    const BigFloat err = BigFloat::relativeError(exact, got);
+    if (err.isZero())
+        return exact_log10;
+    const double l = err.log10Abs();
+    if (l < exact_log10)
+        return exact_log10;
+    if (l > invalid_log10)
+        return invalid_log10;
+    return l;
+}
+
+/** Relative error (linear, as double); may overflow to inf. */
+inline double
+relErr(const BigFloat &exact, const BigFloat &got)
+{
+    return std::pow(10.0, relErrLog10(exact, got));
+}
+
+/** The operation measured by the Figure 3 harness. */
+enum class Op { Add, Mul };
+
+/**
+ * Perform op in format T on oracle operands: convert both operands
+ * into T (rounding as the format requires), apply T's operator, and
+ * return the exact value of T's result.
+ */
+template <typename T>
+BigFloat
+opInFormat(Op op, const BigFloat &a, const BigFloat &b)
+{
+    const T ta = RealTraits<T>::fromBigFloat(a);
+    const T tb = RealTraits<T>::fromBigFloat(b);
+    const T r = op == Op::Add ? ta + tb : ta * tb;
+    return RealTraits<T>::toBigFloat(r);
+}
+
+/**
+ * One Figure-3 sample: the oracle result's base-2 exponent (the bin
+ * key) and the measured relative error in log10.
+ */
+template <typename T>
+double
+measureOp(Op op, const BigFloat &a, const BigFloat &b)
+{
+    const BigFloat exact =
+        op == Op::Add ? BigFloat(a + b) : BigFloat(a * b);
+    return relErrLog10(exact, opInFormat<T>(op, a, b));
+}
+
+} // namespace pstat::accuracy
+
+#endif // PSTAT_CORE_ACCURACY_HH

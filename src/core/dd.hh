@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Double-double arithmetic with explicit power-of-two rescaling.
+ *
+ * The application-level accuracy experiments (Figures 9-11) need a
+ * high-precision oracle over billions of operations, where the
+ * 256-bit BigFloat is too slow. A double-double (~106-bit mantissa)
+ * combined with exact power-of-two rescaling to dodge binary64's
+ * range limits gives ~31 decimal digits at near-double speed, which
+ * is 10+ orders of magnitude more precise than anything measured.
+ * Op-level measurements (Figure 3) and all unit tests still use the
+ * full BigFloat oracle.
+ *
+ * Classic error-free transforms: Knuth two-sum, FMA two-prod.
+ */
+
+#ifndef PSTAT_CORE_DD_HH
+#define PSTAT_CORE_DD_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "bigfloat/bigfloat.hh"
+
+namespace pstat
+{
+
+/** An unevaluated sum hi + lo with |lo| <= ulp(hi)/2. */
+struct DD
+{
+    double hi = 0.0;
+    double lo = 0.0;
+
+    constexpr DD() = default;
+    constexpr DD(double h, double l) : hi(h), lo(l) {}
+    explicit constexpr DD(double v) : hi(v) {}
+
+    static constexpr DD zero() { return DD(); }
+    static constexpr DD one() { return DD(1.0); }
+
+    bool isZero() const { return hi == 0.0; }
+    double toDouble() const { return hi + lo; }
+
+    /** Exact conversion to the 256-bit oracle. */
+    BigFloat
+    toBigFloat() const
+    {
+        return BigFloat::fromDouble(hi) + BigFloat::fromDouble(lo);
+    }
+};
+
+/** Error-free a + b for |a| >= |b|. */
+inline DD
+quickTwoSum(double a, double b)
+{
+    const double s = a + b;
+    return {s, b - (s - a)};
+}
+
+/** Error-free a + b (Knuth). */
+inline DD
+twoSum(double a, double b)
+{
+    const double s = a + b;
+    const double v = s - a;
+    return {s, (a - (s - v)) + (b - v)};
+}
+
+/** Error-free a * b via FMA. */
+inline DD
+twoProd(double a, double b)
+{
+    const double p = a * b;
+    return {p, std::fma(a, b, -p)};
+}
+
+inline DD
+operator+(const DD &a, const DD &b)
+{
+    DD s = twoSum(a.hi, b.hi);
+    s.lo += a.lo + b.lo;
+    return quickTwoSum(s.hi, s.lo);
+}
+
+inline DD
+operator-(const DD &a, const DD &b)
+{
+    return a + DD(-b.hi, -b.lo);
+}
+
+inline DD
+operator*(const DD &a, const DD &b)
+{
+    DD p = twoProd(a.hi, b.hi);
+    p.lo += a.hi * b.lo + a.lo * b.hi;
+    return quickTwoSum(p.hi, p.lo);
+}
+
+inline DD
+operator/(const DD &a, const DD &b)
+{
+    const double q1 = a.hi / b.hi;
+    DD r = a - b * DD(q1);
+    const double q2 = r.hi / b.hi;
+    r = r - b * DD(q2);
+    const double q3 = r.hi / b.hi;
+    return quickTwoSum(q1, q2) + DD(q3);
+}
+
+inline bool
+operator<(const DD &a, const DD &b)
+{
+    return a.hi < b.hi || (a.hi == b.hi && a.lo < b.lo);
+}
+
+/** Exact multiply by 2^e (both components scaled). */
+inline DD
+ldexp(const DD &a, int e)
+{
+    return {std::ldexp(a.hi, e), std::ldexp(a.lo, e)};
+}
+
+/**
+ * A double-double mantissa with a wide explicit base-2 exponent:
+ * value = mant * 2^exp2 with |mant.hi| kept in [2^-512, 2^512] by
+ * renormalize(). Exponent range is int64, so likelihoods of
+ * 2^-2,900,000 are no problem. This is the oracle scalar for the
+ * application-level kernels.
+ */
+struct ScaledDD
+{
+    DD mant;
+    int64_t exp2 = 0;
+
+    constexpr ScaledDD() = default;
+    explicit ScaledDD(double v) : mant(v) { renormalize(); }
+    ScaledDD(DD m, int64_t e) : mant(m), exp2(e) { renormalize(); }
+
+    static ScaledDD zero() { return ScaledDD(); }
+    static ScaledDD one() { return ScaledDD(1.0); }
+
+    bool isZero() const { return mant.isZero(); }
+
+    /**
+     * Keep mant.hi in [0.5, 1) exactly (power-of-two scaling is
+     * error-free), so exp2 differences equal value-magnitude
+     * differences and alignment shifts never reach subnormals.
+     */
+    void
+    renormalize()
+    {
+        if (mant.isZero()) {
+            exp2 = 0;
+            return;
+        }
+        int e = 0;
+        std::frexp(mant.hi, &e);
+        if (e != 0) {
+            mant = ldexp(mant, -e);
+            exp2 += e;
+        }
+    }
+
+    /** log2 |value|; requires nonzero. */
+    double
+    log2Abs() const
+    {
+        return static_cast<double>(exp2) +
+               std::log2(std::fabs(mant.hi));
+    }
+
+    BigFloat
+    toBigFloat() const
+    {
+        if (isZero())
+            return BigFloat::zero();
+        return mant.toBigFloat() * BigFloat::twoPow(exp2);
+    }
+
+    friend ScaledDD
+    operator*(const ScaledDD &a, const ScaledDD &b)
+    {
+        if (a.isZero() || b.isZero())
+            return zero();
+        ScaledDD out(a.mant * b.mant, a.exp2 + b.exp2);
+        out.renormalize();
+        return out;
+    }
+
+    friend ScaledDD
+    operator+(const ScaledDD &a, const ScaledDD &b)
+    {
+        if (a.isZero())
+            return b;
+        if (b.isZero())
+            return a;
+        const ScaledDD &big = a.exp2 >= b.exp2 ? a : b;
+        const ScaledDD &sml = a.exp2 >= b.exp2 ? b : a;
+        const int64_t d = big.exp2 - sml.exp2;
+        if (d > 120) // below DD's ~106-bit significance: no effect
+            return big;
+        ScaledDD out(big.mant +
+                         ldexp(sml.mant, -static_cast<int>(d)),
+                     big.exp2);
+        out.renormalize();
+        return out;
+    }
+
+    friend ScaledDD
+    operator-(const ScaledDD &a, const ScaledDD &b)
+    {
+        ScaledDD neg = b;
+        neg.mant = DD(-neg.mant.hi, -neg.mant.lo);
+        return a + neg;
+    }
+
+    friend ScaledDD
+    operator/(const ScaledDD &a, const ScaledDD &b)
+    {
+        ScaledDD out(a.mant / b.mant, a.exp2 - b.exp2);
+        out.renormalize();
+        return out;
+    }
+};
+
+} // namespace pstat
+
+#endif // PSTAT_CORE_DD_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Closed-form dynamic range / precision facts about number formats.
+ *
+ * Regenerates Table I of the paper: useed, smallest representable
+ * positive value, and maximum fraction bits for binary64 and the
+ * posit(64, ES) family.
+ */
+
+#ifndef PSTAT_CORE_FORMAT_INFO_HH
+#define PSTAT_CORE_FORMAT_INFO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pstat
+{
+
+/** One row of Table I. */
+struct FormatInfo
+{
+    std::string name;
+    /** log2(useed); 0 for non-posit formats. */
+    int64_t useed_log2 = 0;
+    /** log2 of the smallest representable positive number. */
+    int64_t smallest_positive_log2 = 0;
+    /** Maximum number of fraction bits an encoding can carry. */
+    int max_fraction_bits = 0;
+};
+
+/** Facts for an N-bit posit with ES exponent bits. */
+inline FormatInfo
+positInfo(int n, int es)
+{
+    FormatInfo info;
+    info.name = "posit(" + std::to_string(n) + "," +
+                std::to_string(es) + ")";
+    info.useed_log2 = int64_t{1} << es;
+    info.smallest_positive_log2 = -(int64_t{n - 2} << es);
+    info.max_fraction_bits = n - 3 - es > 0 ? n - 3 - es : 0;
+    return info;
+}
+
+/** Facts for IEEE binary64 (smallest positive = subnormal 2^-1074). */
+inline FormatInfo
+binary64Info()
+{
+    FormatInfo info;
+    info.name = "binary64";
+    info.useed_log2 = 0;
+    info.smallest_positive_log2 = -1074;
+    info.max_fraction_bits = 52;
+    return info;
+}
+
+/** The rows of Table I in paper order. */
+inline std::vector<FormatInfo>
+table1Rows()
+{
+    std::vector<FormatInfo> rows;
+    rows.push_back(binary64Info());
+    for (int es : {6, 9, 12, 15, 18, 21})
+        rows.push_back(positInfo(64, es));
+    return rows;
+}
+
+} // namespace pstat
+
+#endif // PSTAT_CORE_FORMAT_INFO_HH

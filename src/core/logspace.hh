@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Log-space binary64 arithmetic — the paper's baseline strategy.
+ *
+ * LogDouble stores ln(x) in a binary64 and implements the standard
+ * log-space operation set: multiplication is addition of logs,
+ * addition is the Log-Sum-Exp (LSE) of Equation (2), and the n-ary
+ * LSE of Equation (3) is available for reduction-style sums. Only
+ * non-negative values are representable (log-probabilities); invalid
+ * operations produce NaN, mirroring software like Stan and LoFreq.
+ */
+
+#ifndef PSTAT_CORE_LOGSPACE_HH
+#define PSTAT_CORE_LOGSPACE_HH
+
+#include <cmath>
+#include <span>
+#include <string>
+
+#include "bigfloat/bigfloat.hh"
+
+namespace pstat
+{
+
+/**
+ * Binary LSE on raw log values: log(exp(lx) + exp(ly)) computed
+ * stably as max + log1p(exp(min - max)) (Equation 2).
+ */
+inline double
+logSumExp(double lx, double ly)
+{
+    if (std::isinf(lx) && lx < 0)
+        return ly;
+    if (std::isinf(ly) && ly < 0)
+        return lx;
+    const double m = lx > ly ? lx : ly;
+    const double other = lx > ly ? ly : lx;
+    return m + std::log1p(std::exp(other - m));
+}
+
+/**
+ * Naive log-space addition without the max trick (Equation 1); kept
+ * for the ablation bench showing why LSE is required.
+ */
+inline double
+logAddNaive(double lx, double ly)
+{
+    return std::log(std::exp(lx) + std::exp(ly));
+}
+
+/** N-ary LSE (Equation 3), matching the accelerator's reduction. */
+inline double
+logSumExp(std::span<const double> lvals)
+{
+    double m = -INFINITY;
+    for (double v : lvals)
+        m = v > m ? v : m;
+    if (std::isinf(m) && m < 0)
+        return -INFINITY;
+    double sum = 0.0;
+    for (double v : lvals)
+        sum += std::exp(v - m);
+    return m + std::log(sum);
+}
+
+/**
+ * Streaming (single-pass) LSE accumulator with a running maximum:
+ * the online algorithm used when the n-ary form of Equation (3)
+ * cannot buffer all terms. When a new maximum arrives, the partial
+ * sum of exponentials is rescaled by exp(old_max - new_max).
+ */
+class StreamingLogSumExp
+{
+  public:
+    /** Fold one log-space term into the accumulator. */
+    void
+    add(double lx)
+    {
+        if (std::isinf(lx) && lx < 0)
+            return; // zero contributes nothing
+        if (lx <= max_) {
+            sum_ += std::exp(lx - max_);
+            return;
+        }
+        if (std::isinf(max_))
+            sum_ = 1.0; // first finite term
+        else
+            sum_ = sum_ * std::exp(max_ - lx) + 1.0;
+        max_ = lx;
+    }
+
+    /** log(sum of all exp terms) so far; -inf when empty. */
+    double
+    value() const
+    {
+        if (std::isinf(max_) && max_ < 0)
+            return -INFINITY;
+        return max_ + std::log(sum_);
+    }
+
+    void
+    reset()
+    {
+        max_ = -INFINITY;
+        sum_ = 0.0;
+    }
+
+  private:
+    double max_ = -INFINITY;
+    double sum_ = 0.0;
+};
+
+/**
+ * A non-negative real number stored as its natural logarithm in
+ * binary64. Drop-in scalar for the statistical kernels: operator*
+ * adds logs, operator+ performs LSE.
+ */
+class LogDouble
+{
+  public:
+    /** Constructs zero (log value -inf). */
+    constexpr LogDouble() = default;
+
+    /** From a linear-space value; negative input yields NaN. */
+    static LogDouble
+    fromDouble(double linear)
+    {
+        LogDouble out;
+        out.ln_ = std::log(linear); // log(0) = -inf, log(<0) = NaN
+        return out;
+    }
+
+    /** From an already-computed natural log. */
+    static LogDouble
+    fromLn(double ln_value)
+    {
+        LogDouble out;
+        out.ln_ = ln_value;
+        return out;
+    }
+
+    static LogDouble zero() { return fromLn(-INFINITY); }
+    static LogDouble one() { return fromLn(0.0); }
+
+    /** The stored natural logarithm. */
+    double lnValue() const { return ln_; }
+
+    bool isZero() const { return std::isinf(ln_) && ln_ < 0; }
+    bool isNaN() const { return std::isnan(ln_); }
+
+    /**
+     * Back to linear space in binary64 — underflows for the very
+     * values log-space exists to protect; use toBigFloat for exact
+     * comparisons.
+     */
+    double toDouble() const { return std::exp(ln_); }
+
+    /** Exact-ish (oracle-precision) linear value: exp(ln) in BigFloat. */
+    BigFloat
+    toBigFloat() const
+    {
+        if (isZero())
+            return BigFloat::zero();
+        if (isNaN())
+            return BigFloat::nan();
+        return BigFloat::exp(BigFloat::fromDouble(ln_));
+    }
+
+    /**
+     * Convert from the oracle: ln computed at oracle precision, then
+     * rounded to binary64 (exactly what "transform operands to
+     * log-space in MPFR" does in the paper's methodology).
+     */
+    static LogDouble
+    fromBigFloat(const BigFloat &value)
+    {
+        if (value.isZero())
+            return zero();
+        if (value.isNaN() || value.isNegative())
+            return fromLn(std::nan(""));
+        return fromLn(BigFloat::ln(value).toDouble());
+    }
+
+    friend LogDouble
+    operator*(const LogDouble &a, const LogDouble &b)
+    {
+        if (a.isZero() || b.isZero())
+            return zero(); // avoid -inf + inf pitfalls
+        return fromLn(a.ln_ + b.ln_);
+    }
+
+    friend LogDouble
+    operator+(const LogDouble &a, const LogDouble &b)
+    {
+        return fromLn(logSumExp(a.ln_, b.ln_));
+    }
+
+    friend LogDouble
+    operator/(const LogDouble &a, const LogDouble &b)
+    {
+        if (a.isZero() && !b.isZero())
+            return zero();
+        return fromLn(a.ln_ - b.ln_);
+    }
+
+    LogDouble &operator*=(const LogDouble &o) { return *this = *this * o; }
+    LogDouble &operator+=(const LogDouble &o) { return *this = *this + o; }
+    LogDouble &operator/=(const LogDouble &o) { return *this = *this / o; }
+
+    friend bool
+    operator<(const LogDouble &a, const LogDouble &b)
+    {
+        return a.ln_ < b.ln_;
+    }
+    friend bool
+    operator>(const LogDouble &a, const LogDouble &b)
+    {
+        return a.ln_ > b.ln_;
+    }
+    friend bool
+    operator==(const LogDouble &a, const LogDouble &b)
+    {
+        return a.ln_ == b.ln_;
+    }
+
+    static std::string name() { return "log(binary64)"; }
+
+  private:
+    double ln_ = -INFINITY;
+};
+
+} // namespace pstat
+
+#endif // PSTAT_CORE_LOGSPACE_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Quire: the posit standard's exact dot-product accumulator.
+ *
+ * A quire is a wide two's-complement fixed-point register covering
+ * [minpos^2, maxpos^2], so sums of products accumulate with *no*
+ * rounding until the final conversion back to posit. This is an
+ * extension beyond the paper's evaluation — and it also demonstrates
+ * *why* the paper's accelerators do not use quires: the register
+ * must span 4*(N-2)*2^ES bits, which is ~4 kbit at ES = 4 and over
+ * a megabit at ES = 18. The implementation therefore restricts
+ * ES <= 4; the statistical configurations posit(64, 9..21) are
+ * exactly the ones where quires stop being realizable.
+ */
+
+#ifndef PSTAT_CORE_QUIRE_HH
+#define PSTAT_CORE_QUIRE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/posit.hh"
+
+namespace pstat
+{
+
+/**
+ * Exact accumulator for Posit<N, ES> products.
+ *
+ * @tparam N  posit width
+ * @tparam ES posit exponent field width; must be <= 4 (see above)
+ */
+template <int N, int ES>
+class Quire
+{
+    static_assert(ES <= 4,
+                  "quire storage grows as 4*(N-2)*2^ES bits; beyond "
+                  "ES=4 a quire is no longer implementable (which is "
+                  "why wide-range posits drop it)");
+
+  public:
+    using P = Posit<N, ES>;
+
+    /** Weight of quire bit 0: a little below minpos^2. */
+    static constexpr int64_t lsb_weight = 2 * P::scale_min - 128;
+    /** Total quire width in bits (covers maxpos^2 plus carry guard). */
+    static constexpr int num_bits =
+        static_cast<int>(4 * P::scale_max + 192);
+    static constexpr int num_limbs = (num_bits + 63) / 64;
+
+    constexpr Quire() = default;
+
+    void
+    clear()
+    {
+        limbs_ = {};
+        nar_ = false;
+    }
+
+    bool isNaR() const { return nar_; }
+
+    bool
+    isZero() const
+    {
+        if (nar_)
+            return false;
+        for (uint64_t w : limbs_) {
+            if (w != 0)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    isNegative() const
+    {
+        return !nar_ &&
+               (limbs_[num_limbs - 1] >> 63) != 0;
+    }
+
+    /** Accumulate a * b exactly (fused multiply-accumulate). */
+    void
+    addProduct(const P &a, const P &b)
+    {
+        if (a.isNaR() || b.isNaR()) {
+            nar_ = true;
+            return;
+        }
+        if (a.isZero() || b.isZero())
+            return;
+
+        const auto ua = a.unpack();
+        const auto ub = b.unpack();
+        const unsigned __int128 prod =
+            static_cast<unsigned __int128>(ua.sig) * ub.sig;
+        // prod's bit 0 has weight 2^(sa + sb - 126).
+        const int64_t pos = ua.scale + ub.scale - 126 - lsb_weight;
+        addShifted(prod, static_cast<int>(pos),
+                   ua.negative != ub.negative);
+    }
+
+    /** Accumulate a posit value exactly. */
+    void
+    add(const P &value)
+    {
+        addProduct(value, P::one());
+    }
+
+    /** Round the accumulated value back to a posit (single rounding). */
+    P
+    toPosit() const
+    {
+        if (nar_)
+            return P::nar();
+        if (isZero())
+            return P::zero();
+
+        std::array<uint64_t, num_limbs> mag = limbs_;
+        const bool negative = isNegative();
+        if (negative) {
+            // Two's-complement negate.
+            uint64_t carry = 1;
+            for (int i = 0; i < num_limbs; ++i) {
+                mag[i] = ~mag[i] + carry;
+                carry = (carry != 0 && mag[i] == 0) ? 1 : 0;
+            }
+        }
+
+        int msb = -1;
+        for (int i = num_limbs - 1; i >= 0 && msb < 0; --i) {
+            if (mag[i] != 0)
+                msb = i * 64 + 63 - __builtin_clzll(mag[i]);
+        }
+
+        // Gather the top 64 bits below (and including) the MSB.
+        uint64_t sig = 0;
+        bool sticky = false;
+        for (int b = 0; b < 64; ++b) {
+            const int idx = msb - b;
+            sig <<= 1;
+            if (idx >= 0)
+                sig |= bitAt(mag, idx);
+        }
+        for (int idx = msb - 64; idx >= 0 && !sticky; --idx)
+            sticky = bitAt(mag, idx) != 0;
+
+        return P::pack(negative, msb + lsb_weight, sig, sticky);
+    }
+
+  private:
+    static uint64_t
+    bitAt(const std::array<uint64_t, num_limbs> &limbs, int idx)
+    {
+        return (limbs[idx / 64] >> (idx % 64)) & 1;
+    }
+
+    /** Add or subtract a 128-bit value at bit offset pos. */
+    void
+    addShifted(unsigned __int128 value, int pos, bool subtract)
+    {
+        // Spread the product over three aligned limbs.
+        const int limb = pos / 64;
+        const int shift = pos % 64;
+        uint64_t parts[3];
+        parts[0] = static_cast<uint64_t>(value) << shift;
+        parts[1] = static_cast<uint64_t>(
+            shift == 0 ? (value >> 64)
+                       : (value >> (64 - shift)));
+        parts[2] = shift == 0
+                       ? 0
+                       : static_cast<uint64_t>(value >> (128 - shift));
+
+        if (!subtract) {
+            unsigned __int128 carry = 0;
+            for (int i = 0; i < num_limbs - limb; ++i) {
+                const uint64_t add = i < 3 ? parts[i] : 0;
+                if (i >= 3 && carry == 0)
+                    break;
+                const unsigned __int128 s =
+                    static_cast<unsigned __int128>(limbs_[limb + i]) +
+                    add + carry;
+                limbs_[limb + i] = static_cast<uint64_t>(s);
+                carry = s >> 64;
+            }
+        } else {
+            uint64_t borrow = 0;
+            for (int i = 0; i < num_limbs - limb; ++i) {
+                const uint64_t sub = i < 3 ? parts[i] : 0;
+                if (i >= 3 && borrow == 0)
+                    break;
+                const uint64_t total = sub + borrow;
+                const uint64_t wrapped = total < sub ? 1 : 0;
+                const uint64_t next =
+                    limbs_[limb + i] < total ? 1 : 0;
+                limbs_[limb + i] -= total;
+                borrow = wrapped | next;
+            }
+        }
+    }
+
+    std::array<uint64_t, num_limbs> limbs_ = {};
+    bool nar_ = false;
+};
+
+} // namespace pstat
+
+#endif // PSTAT_CORE_QUIRE_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Uniform scalar-format adapter for the statistical kernels.
+ *
+ * Every kernel in src/hmm and src/pbd is a template over a scalar
+ * type T; RealTraits<T> supplies construction, conversion to/from the
+ * BigFloat oracle, and a display name. Specializations cover the four
+ * format families the paper compares: binary64, log-space binary64,
+ * posits, and the oracle itself.
+ */
+
+#ifndef PSTAT_CORE_REAL_TRAITS_HH
+#define PSTAT_CORE_REAL_TRAITS_HH
+
+#include <string>
+
+#include "bigfloat/bigfloat.hh"
+#include "core/dd.hh"
+#include "core/lns.hh"
+#include "core/logspace.hh"
+#include "core/posit.hh"
+
+namespace pstat
+{
+
+template <typename T>
+struct RealTraits;
+
+template <>
+struct RealTraits<double>
+{
+    static std::string name() { return "binary64"; }
+    static double zero() { return 0.0; }
+    static double one() { return 1.0; }
+    static double fromDouble(double v) { return v; }
+    static double fromBigFloat(const BigFloat &v) { return v.toDouble(); }
+    static BigFloat toBigFloat(double v) { return BigFloat::fromDouble(v); }
+    static bool isZero(double v) { return v == 0.0; }
+    static bool isInvalid(double v) { return v != v; }
+};
+
+template <>
+struct RealTraits<LogDouble>
+{
+    static std::string name() { return LogDouble::name(); }
+    static LogDouble zero() { return LogDouble::zero(); }
+    static LogDouble one() { return LogDouble::one(); }
+    static LogDouble fromDouble(double v)
+    {
+        return LogDouble::fromDouble(v);
+    }
+    static LogDouble fromBigFloat(const BigFloat &v)
+    {
+        return LogDouble::fromBigFloat(v);
+    }
+    static BigFloat toBigFloat(const LogDouble &v)
+    {
+        return v.toBigFloat();
+    }
+    static bool isZero(const LogDouble &v) { return v.isZero(); }
+    static bool isInvalid(const LogDouble &v) { return v.isNaN(); }
+};
+
+template <int N, int ES>
+struct RealTraits<Posit<N, ES>>
+{
+    using P = Posit<N, ES>;
+    static std::string name() { return P::name(); }
+    static P zero() { return P::zero(); }
+    static P one() { return P::one(); }
+    static P fromDouble(double v) { return P::fromDouble(v); }
+    static P fromBigFloat(const BigFloat &v) { return P::fromBigFloat(v); }
+    static BigFloat toBigFloat(const P &v) { return v.toBigFloat(); }
+    static bool isZero(const P &v) { return v.isZero(); }
+    static bool isInvalid(const P &v) { return v.isNaR(); }
+};
+
+template <>
+struct RealTraits<Lns64>
+{
+    static std::string name() { return Lns64::name(); }
+    static Lns64 zero() { return Lns64::zero(); }
+    static Lns64 one() { return Lns64::one(); }
+    static Lns64 fromDouble(double v) { return Lns64::fromDouble(v); }
+    static Lns64 fromBigFloat(const BigFloat &v)
+    {
+        return Lns64::fromBigFloat(v);
+    }
+    static BigFloat toBigFloat(const Lns64 &v)
+    {
+        return v.toBigFloat();
+    }
+    static bool isZero(const Lns64 &v) { return v.isZero(); }
+    static bool isInvalid(const Lns64 &v) { return v.isNaN(); }
+};
+
+template <>
+struct RealTraits<ScaledDD>
+{
+    static std::string name() { return "scaled-dd (oracle)"; }
+    static ScaledDD zero() { return ScaledDD::zero(); }
+    static ScaledDD one() { return ScaledDD::one(); }
+    static ScaledDD fromDouble(double v) { return ScaledDD(v); }
+    static ScaledDD
+    fromBigFloat(const BigFloat &v)
+    {
+        if (v.isZero())
+            return ScaledDD::zero();
+        const int64_t e = v.exponent();
+        const BigFloat scaled = v * BigFloat::twoPow(-e);
+        const double hi = scaled.toDouble();
+        const double lo = (scaled - BigFloat::fromDouble(hi)).toDouble();
+        return ScaledDD(DD(hi, lo), e);
+    }
+    static BigFloat toBigFloat(const ScaledDD &v)
+    {
+        return v.toBigFloat();
+    }
+    static bool isZero(const ScaledDD &v) { return v.isZero(); }
+    static bool isInvalid(const ScaledDD &v)
+    {
+        return v.mant.hi != v.mant.hi;
+    }
+};
+
+template <>
+struct RealTraits<BigFloat>
+{
+    static std::string name() { return "bigfloat256 (oracle)"; }
+    static BigFloat zero() { return BigFloat::zero(); }
+    static BigFloat one() { return BigFloat::one(); }
+    static BigFloat fromDouble(double v) { return BigFloat::fromDouble(v); }
+    static BigFloat fromBigFloat(const BigFloat &v) { return v; }
+    static BigFloat toBigFloat(const BigFloat &v) { return v; }
+    static bool isZero(const BigFloat &v) { return v.isZero(); }
+    static bool isInvalid(const BigFloat &v) { return v.isNaN(); }
+};
+
+} // namespace pstat
+
+#endif // PSTAT_CORE_REAL_TRAITS_HH

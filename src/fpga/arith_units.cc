@@ -1,0 +1,179 @@
+#include "fpga/arith_units.hh"
+
+#include <cassert>
+
+#include "fpga/primitives.hh"
+
+namespace pstat::fpga
+{
+
+namespace
+{
+
+/** Internal fraction datapath width of a MArTo-style posit unit:
+ *  the widest fraction (61 - ES bits) plus guard/round/sticky and
+ *  sign handling. Larger ES means a narrower fraction datapath. */
+int
+positFracWidth(int es)
+{
+    return 64 - es + 6;
+}
+
+/** Pipeline register estimate: stages x width x live-value factor. */
+Resource
+pipelineRegs(int stages, int width, double live_values)
+{
+    Resource r;
+    r.reg = static_cast<double>(stages) * width * live_values;
+    return r;
+}
+
+UnitSpec
+b64Add()
+{
+    UnitSpec u;
+    u.name = "binary64 add";
+    u.kind = UnitKind::B64Add;
+    // Swap/compare, align shift, 56-bit significand add, LZC,
+    // normalize shift, round increment, special-case logic.
+    u.res = comparator(64) + mux2(64) + mux2(64) + barrelShifter(56) +
+            adderInt(56) + leadingZeroCounter(56) + barrelShifter(56) +
+            adderInt(53) + mux2(40);
+    u.res += pipelineRegs(latency::b64_add, 64, 1.53);
+    u.cycles = latency::b64_add;
+    u.fmax_mhz = 480;
+    return u;
+}
+
+UnitSpec
+b64Mul()
+{
+    UnitSpec u;
+    u.name = "binary64 mul";
+    u.kind = UnitKind::B64Mul;
+    // 53x53 significand product on DSPs, exponent add, rounding.
+    u.res = multiplierDsp(53, 53) + adderInt(12) + adderInt(53) +
+            mux2(40) + mux2(44);
+    u.res += pipelineRegs(latency::b64_mul, 64, 0.95);
+    u.cycles = latency::b64_mul;
+    u.fmax_mhz = 480;
+    return u;
+}
+
+UnitSpec
+lseAdd()
+{
+    UnitSpec u;
+    u.name = "Log add (binary64 LSE)";
+    u.kind = UnitKind::LseAdd;
+    // Equation (2): max (compare+selects), subtract, two exponentials,
+    // adder for the exponential sum, logarithm, final add.
+    const UnitSpec add = b64Add();
+    u.res = comparator(64) + mux2(64) + mux2(64);
+    u.res += add.res; // subtract
+    u.res += expUnitB64();
+    u.res += expUnitB64();
+    u.res += add.res; // sum of exponentials
+    u.res += logUnitB64();
+    u.res += add.res; // m + log(...)
+    u.cycles = latency::lse_total;
+    assert(u.cycles == 64);
+    u.fmax_mhz = 346;
+    return u;
+}
+
+UnitSpec
+positAdd(int es)
+{
+    UnitSpec u;
+    u.kind = UnitKind::PositAdd;
+    u.es = es;
+    u.name = "posit(64," + std::to_string(es) + ") add";
+    const int w = positFracWidth(es);
+    // Two decoders (regime LZC + fraction align), mantissa alignment
+    // shift, wide add, cancellation LZC, combined normalize/encode
+    // shift over the full 62-bit body, round increment, selects.
+    const Resource decoder =
+        leadingZeroCounter(62) + barrelShifter(w) * 0.72 + mux2(32);
+    u.res = decoder + decoder;
+    u.res += barrelShifter(w);               // alignment
+    u.res += adderInt(w + 3);                // significand add
+    u.res += leadingZeroCounter(w + 3);      // renormalization
+    u.res += barrelShifter(62) * 0.85;       // encode (regime+frac)
+    u.res += adderInt(62);                   // round increment
+    u.res += mux2(64) + mux2(32);            // specials / sign
+    u.res += pipelineRegs(latency::posit_add, 2 * w + 64, 0.70);
+    u.cycles = latency::posit_add;
+    u.fmax_mhz = es >= 18 ? 358 : 354;
+    return u;
+}
+
+UnitSpec
+positMul(int es)
+{
+    UnitSpec u;
+    u.kind = UnitKind::PositMul;
+    u.es = es;
+    u.name = "posit(64," + std::to_string(es) + ") mul";
+    const int w = positFracWidth(es) - 6; // significand only
+    // Two decoders, DSP significand product, scale add, encoder.
+    const Resource decoder =
+        leadingZeroCounter(62) * 0.5 + barrelShifter(w) * 0.55;
+    u.res = decoder + decoder;
+    u.res += multiplierDsp(w, w);
+    // MArTo's wide internal type costs extra DSPs for the
+    // fixed-point scale path (one more at very large ES).
+    u.res.dsp += 3 + (es >= 18 ? 1 : 0);
+    u.res += adderInt(24);             // scale arithmetic
+    u.res += barrelShifter(62) * 0.60; // encode
+    u.res += adderInt(62);             // round increment
+    u.res += mux2(48);
+    u.res += pipelineRegs(latency::posit_mul, w + 64, 0.72);
+    u.cycles = latency::posit_mul;
+    u.fmax_mhz = 336;
+    return u;
+}
+
+} // namespace
+
+UnitSpec
+makeUnit(UnitKind kind, int es)
+{
+    switch (kind) {
+      case UnitKind::B64Add:
+        return b64Add();
+      case UnitKind::B64Mul:
+        return b64Mul();
+      case UnitKind::LseAdd:
+        return lseAdd();
+      case UnitKind::LogMul: {
+        // Log-space multiply is just a binary64 add.
+        UnitSpec u = b64Add();
+        u.name = "Log mul (binary64 add)";
+        u.kind = UnitKind::LogMul;
+        return u;
+      }
+      case UnitKind::PositAdd:
+        return positAdd(es);
+      case UnitKind::PositMul:
+        return positMul(es);
+    }
+    return b64Add();
+}
+
+std::vector<UnitSpec>
+table2Units()
+{
+    return {
+        makeUnit(UnitKind::B64Add),
+        makeUnit(UnitKind::LseAdd),
+        makeUnit(UnitKind::PositAdd, 12),
+        makeUnit(UnitKind::PositAdd, 18),
+        makeUnit(UnitKind::B64Mul),
+        makeUnit(UnitKind::LogMul),
+        makeUnit(UnitKind::PositMul, 12),
+        makeUnit(UnitKind::PositMul, 18),
+    };
+}
+
+} // namespace pstat::fpga

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Composed arithmetic units: the rows of Table II.
+ *
+ * Each unit is assembled from the primitives of primitives.hh the way
+ * the corresponding RTL/HLS datapath is structured; latencies follow
+ * the stage decomposition given in Section V-C of the paper (e.g. the
+ * 64-cycle LSE = 3 max + 6 subtract + 20 exponential + 6 add + 26 log
+ * + 3 final add).
+ */
+
+#ifndef PSTAT_FPGA_ARITH_UNITS_HH
+#define PSTAT_FPGA_ARITH_UNITS_HH
+
+#include <string>
+#include <vector>
+
+#include "fpga/resource.hh"
+
+namespace pstat::fpga
+{
+
+/** The arithmetic units the accelerators instantiate. */
+enum class UnitKind
+{
+    B64Add,   //!< binary64 adder (LogiCORE)
+    B64Mul,   //!< binary64 multiplier (LogiCORE)
+    LseAdd,   //!< log-space add: binary64 LSE of Equation (2)
+    LogMul,   //!< log-space multiply: a binary64 adder
+    PositAdd, //!< posit(64, es) adder (MArTo-style)
+    PositMul  //!< posit(64, es) multiplier (MArTo-style)
+};
+
+/** One composed unit: resources, latency, achievable clock. */
+struct UnitSpec
+{
+    std::string name;
+    UnitKind kind;
+    int es = 0; //!< posit ES (ignored for IEEE/log units)
+    Resource res;
+    int cycles = 0;
+    double fmax_mhz = 0.0;
+};
+
+/** Compose a unit from primitives. */
+UnitSpec makeUnit(UnitKind kind, int es = 0);
+
+/** All rows of Table II in paper order. */
+std::vector<UnitSpec> table2Units();
+
+/** Stage latencies used across the models (paper Section V-C). */
+namespace latency
+{
+constexpr int b64_add = 6;
+constexpr int b64_mul = 8;
+constexpr int lse_max = 3;   //!< comparator tree node
+constexpr int lse_sub = 6;   //!< binary64 subtract
+constexpr int lse_exp = 20;  //!< exponential core
+constexpr int lse_accum = 6; //!< adder in the exponential sum
+constexpr int lse_log = 26;  //!< logarithm core
+constexpr int lse_final = 3; //!< conditional/select logic
+constexpr int lse_total = lse_max + lse_sub + lse_exp + lse_accum +
+                          lse_log + lse_final; // = 64
+constexpr int posit_add = 8;
+constexpr int posit_mul = 12;
+} // namespace latency
+
+} // namespace pstat::fpga
+
+#endif // PSTAT_FPGA_ARITH_UNITS_HH

@@ -1,0 +1,156 @@
+#include "fpga/pe.hh"
+
+#include "fpga/primitives.hh"
+
+namespace pstat::fpga
+{
+
+int
+clog2(int x)
+{
+    int bits = 0;
+    while ((1 << bits) < x)
+        ++bits;
+    return bits;
+}
+
+namespace
+{
+
+/**
+ * Dataflow staging for a fully pipelined PE: HLS inserts SRL delay
+ * lines to balance every lane against the deepest path. Budget: a
+ * ~160-bit bundle (operand + intermediate + control) per lane,
+ * `depth` cycles deep. Above H = 64 the tools move this staging into
+ * block RAM (visible in the paper's Table III as the SRAM jump at
+ * H = 128), so the LUT share drops and BRAM appears.
+ */
+Resource
+laneStaging(int depth, bool bram)
+{
+    if (!bram)
+        return delayLine(160, depth);
+    Resource r;
+    r.reg = 160;
+    r.sram = 160.0 * depth / 36864.0 * 12.0; // banked FIFOs
+    return r;
+}
+
+/** Per-lane control (handshake FSM slice) for deep HLS pipelines. */
+Resource
+laneControl(double luts)
+{
+    Resource r;
+    r.lut = luts;
+    return r;
+}
+
+} // namespace
+
+PeModel
+forwardPeLog(int h)
+{
+    const int lg = clog2(h);
+    PeModel pe;
+    pe.name = "log forward PE (H=" + std::to_string(h) + ")";
+    pe.stages = {
+        {"compute terms (alpha + ln_A adds, parallel)", latency::lse_sub},
+        {"find maximum (comparator tree)", latency::lse_max * lg},
+        {"subtractions (parallel)", latency::lse_sub},
+        {"exponentials (parallel)", latency::lse_exp},
+        {"accumulate exponentials (adder tree)",
+         latency::lse_accum * lg},
+        {"logarithm and add", latency::lse_log},
+        {"emission add + select", latency::lse_sub - 2},
+    };
+    // 62 + 9*log2(H): see Figure 4(a).
+    pe.latency = 62 + 9 * lg;
+
+    const UnitSpec add = makeUnit(UnitKind::B64Add);
+    const bool bram = h > 64;
+    Resource lane;
+    lane += add.res;            // terms: alpha + ln_A
+    lane += add.res;            // subtraction against the max
+    lane += expUnitB64();       // exponential
+    lane += add.res;            // adder-tree share (~1 node per lane)
+    lane += comparator(64) * 0.5 + mux2(64) * 0.5; // max-tree share
+    lane += laneStaging(pe.latency, bram);
+    lane += laneControl(500);
+    pe.res = lane * h;
+    pe.res += logUnitB64();     // single logarithm
+    pe.res += add.res;          // m + log(sum)
+    return pe;
+}
+
+PeModel
+forwardPePosit(int h, int es)
+{
+    const int lg = clog2(h);
+    PeModel pe;
+    pe.name = "posit(64," + std::to_string(es) +
+              ") forward PE (H=" + std::to_string(h) + ")";
+    pe.stages = {
+        {"compute terms (multiplications, parallel)",
+         latency::posit_mul},
+        {"accumulate terms (adder tree)", latency::posit_add * lg},
+        {"emission multiply", latency::posit_mul},
+    };
+    // 24 + 8*log2(H): see Figure 4(b).
+    pe.latency = 24 + 8 * lg;
+
+    const UnitSpec add = makeUnit(UnitKind::PositAdd, es);
+    const UnitSpec mul = makeUnit(UnitKind::PositMul, es);
+    const bool bram = h > 64;
+    Resource lane;
+    lane += mul.res; // term multiply
+    lane += add.res; // adder-tree share
+    lane += laneStaging(pe.latency * 0.25, bram) * 0.2;
+    pe.res = lane * h;
+    pe.res += mul.res; // emission multiply
+    return pe;
+}
+
+PeModel
+columnPeLog()
+{
+    PeModel pe;
+    pe.name = "log column PE";
+    pe.stages = {
+        {"LSE (Equation 2)", latency::lse_total},
+        {"log-space multiplies (adds)", latency::b64_add},
+        {"conditional logic", 3},
+    };
+    pe.latency = latency::lse_total + latency::b64_add + 3; // 73
+
+    const UnitSpec add = makeUnit(UnitKind::B64Add);
+    pe.res = makeUnit(UnitKind::LseAdd).res;
+    pe.res += add.res + add.res; // two log-space multiplies
+    pe.res += delayLine(160, pe.latency);
+    pe.res += laneControl(600);
+    pe.res.dsp += 8;     // p-value accumulation LSE share
+    pe.res.reg += 1'400; // pr[] buffer addressing/staging registers
+    return pe;
+}
+
+PeModel
+columnPePosit(int es)
+{
+    PeModel pe;
+    pe.name = "posit(64," + std::to_string(es) + ") column PE";
+    pe.stages = {
+        {"multiplies (parallel)", latency::posit_mul},
+        {"add", latency::posit_add},
+        {"conditional logic", 10},
+    };
+    pe.latency = latency::posit_mul + latency::posit_add + 10; // 30
+
+    const UnitSpec add = makeUnit(UnitKind::PositAdd, es);
+    const UnitSpec mul = makeUnit(UnitKind::PositMul, es);
+    pe.res = mul.res + mul.res + add.res;
+    pe.res += delayLine(32, pe.latency);
+    pe.res += laneControl(300);
+    pe.res.reg += 900; // pr[] buffer addressing/staging registers
+    return pe;
+}
+
+} // namespace pstat::fpga

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Processing-element models (Figure 4 of the paper).
+ *
+ * The forward-algorithm PE evaluates one inner-loop iteration (one
+ * alpha state) per clock, fully parallelizing the innermost loop over
+ * H predecessor states. In log space that requires an H-input LSE:
+ * a comparator max-tree, H subtractors, H exponentials, an adder
+ * reduction tree, and one logarithm — latency 62 + 9*log2(H). The
+ * posit PE needs only H multipliers and an adder tree — latency
+ * 24 + 8*log2(H). The column-unit PEs implement one Listing-2 state
+ * update per clock: log 73 cycles (64 LSE + 6 add + 3 select),
+ * posit 30 cycles.
+ */
+
+#ifndef PSTAT_FPGA_PE_HH
+#define PSTAT_FPGA_PE_HH
+
+#include <string>
+#include <vector>
+
+#include "fpga/arith_units.hh"
+#include "fpga/resource.hh"
+
+namespace pstat::fpga
+{
+
+/** ceil(log2(x)) for x >= 1. */
+int clog2(int x);
+
+/** One pipeline stage of a PE, for latency breakdowns (Figure 4). */
+struct PeStage
+{
+    std::string name;
+    int cycles;
+};
+
+/** A processing element: resources, latency, stage decomposition. */
+struct PeModel
+{
+    std::string name;
+    Resource res;
+    int latency = 0;
+    std::vector<PeStage> stages;
+};
+
+/** Log-space forward-algorithm PE: latency 62 + 9*clog2(H). */
+PeModel forwardPeLog(int h);
+
+/** Posit forward-algorithm PE: latency 24 + 8*clog2(H). */
+PeModel forwardPePosit(int h, int es);
+
+/** Log-space column-unit PE (Listing 2 state update): 73 cycles. */
+PeModel columnPeLog();
+
+/** Posit column-unit PE: 30 cycles. */
+PeModel columnPePosit(int es);
+
+} // namespace pstat::fpga
+
+#endif // PSTAT_FPGA_PE_HH

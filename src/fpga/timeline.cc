@@ -1,0 +1,70 @@
+#include "fpga/timeline.hh"
+
+#include <algorithm>
+
+namespace pstat::fpga
+{
+
+namespace
+{
+
+/**
+ * Walk outer iterations event by event. Each iteration needs its
+ * input element in the prefetch buffer (fetch issued one iteration
+ * ahead), then issues `issue` cycles of inner work, then drains the
+ * PE (`latency` cycles) before the dependent next iteration starts.
+ */
+TimelineResult
+simulateLoop(uint64_t outer, double issue, int latency)
+{
+    TimelineResult out;
+    double now = 0.0;
+    // The first element is prefetched while the unit is configured,
+    // so iteration 0 starts warm.
+    double fetch_ready = 0.0;
+    double issue_cycles_total = 0.0;
+
+    for (uint64_t t = 0; t < outer; ++t) {
+        if (now < fetch_ready) {
+            out.compute_stall_cycles +=
+                static_cast<uint64_t>(fetch_ready - now);
+            now = fetch_ready;
+        }
+        // Prefetch for the next iteration proceeds concurrently.
+        fetch_ready = now + dram_cycles_per_fetch;
+
+        now += issue;          // inner iterations enter the PE
+        issue_cycles_total += issue;
+        now += latency;        // dependency: drain before next outer
+    }
+
+    out.total_cycles = static_cast<uint64_t>(now);
+    out.pe_occupancy =
+        out.total_cycles == 0
+            ? 0.0
+            : issue_cycles_total / static_cast<double>(out.total_cycles);
+    return out;
+}
+
+} // namespace
+
+TimelineResult
+simulateForwardRun(Format format, int h, uint64_t t_len)
+{
+    const PeModel pe =
+        format == Format::Log ? forwardPeLog(h) : forwardPePosit(h, 18);
+    return simulateLoop(t_len, forwardIssueCycles(format, h),
+                        pe.latency);
+}
+
+TimelineResult
+simulateColumnRun(Format format, int coverage, int k)
+{
+    const int latency = format == Format::Log
+                            ? columnPeLog().latency
+                            : columnPePosit(12).latency;
+    return simulateLoop(static_cast<uint64_t>(coverage),
+                        static_cast<double>(std::max(k, 1)), latency);
+}
+
+} // namespace pstat::fpga

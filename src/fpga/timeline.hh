@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Discrete-event timeline simulator for the accelerators (Figure 5).
+ *
+ * The closed-form cycle model in accelerator.hh assumes the steady
+ * state of Figure 5; this small event-driven simulator walks every
+ * outer iteration explicitly — prefetch issue, inner-loop issue slots
+ * at the effective initiation interval, PE drain, and the
+ * alpha/pr data dependency gating the next outer iteration — and
+ * reports total cycles plus occupancy. The test suite checks it
+ * against the closed form (they must agree to within the fill/drain
+ * transient), which guards both against formula typos.
+ */
+
+#ifndef PSTAT_FPGA_TIMELINE_HH
+#define PSTAT_FPGA_TIMELINE_HH
+
+#include <cstdint>
+
+#include "fpga/accelerator.hh"
+
+namespace pstat::fpga
+{
+
+/** Outcome of an event-driven run. */
+struct TimelineResult
+{
+    uint64_t total_cycles = 0;
+    uint64_t compute_stall_cycles = 0; //!< waiting on the prefetcher
+    double pe_occupancy = 0.0; //!< fraction of cycles PE was issuing
+};
+
+/**
+ * Simulate a forward-algorithm unit run: t_len outer iterations,
+ * issue_cycles inner-issue slots per iteration, PE latency from the
+ * PE model, one DRAM fetch per outer iteration overlapped with
+ * compute.
+ */
+TimelineResult simulateForwardRun(Format format, int h,
+                                  uint64_t t_len);
+
+/** Simulate one column (N outer iterations, K-deep inner loop). */
+TimelineResult simulateColumnRun(Format format, int coverage, int k);
+
+} // namespace pstat::fpga
+
+#endif // PSTAT_FPGA_TIMELINE_HH

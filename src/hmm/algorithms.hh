@@ -1,0 +1,243 @@
+/**
+ * @file
+ * HMM algorithms beyond the forward pass: backward, Viterbi,
+ * posterior decoding, and one Baum-Welch re-estimation step.
+ *
+ * The paper's evaluation centers on the forward algorithm; these
+ * extensions demonstrate that the scalar-format abstraction carries
+ * to the full HMM toolbox (every routine is a template over T) and
+ * provide the cross-checks used by the test suite (e.g. the
+ * forward-backward invariant sum_q alpha_t[q] * beta_t[q] == P(O)).
+ */
+
+#ifndef PSTAT_HMM_ALGORITHMS_HH
+#define PSTAT_HMM_ALGORITHMS_HH
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/real_traits.hh"
+#include "hmm/model.hh"
+
+namespace pstat::hmm
+{
+
+/** Full alpha matrix (T x H) of the forward recursion. */
+template <typename T>
+std::vector<std::vector<T>>
+forwardMatrix(const Model &model, std::span<const int> obs)
+{
+    using RT = RealTraits<T>;
+    const int h = model.num_states;
+    std::vector<std::vector<T>> alpha(obs.size(),
+                                      std::vector<T>(h, RT::zero()));
+    if (obs.empty())
+        return alpha;
+
+    for (int q = 0; q < h; ++q) {
+        alpha[0][q] = RT::fromDouble(model.pi[q]) *
+                      RT::fromDouble(model.bAt(q, obs[0]));
+    }
+    for (size_t t = 1; t < obs.size(); ++t) {
+        for (int q = 0; q < h; ++q) {
+            T sum = RT::zero();
+            for (int p = 0; p < h; ++p) {
+                sum = sum + alpha[t - 1][p] *
+                                RT::fromDouble(model.aAt(p, q));
+            }
+            alpha[t][q] = sum * RT::fromDouble(model.bAt(q, obs[t]));
+        }
+    }
+    return alpha;
+}
+
+/** Full beta matrix (T x H) of the backward recursion. */
+template <typename T>
+std::vector<std::vector<T>>
+backwardMatrix(const Model &model, std::span<const int> obs)
+{
+    using RT = RealTraits<T>;
+    const int h = model.num_states;
+    std::vector<std::vector<T>> beta(obs.size(),
+                                     std::vector<T>(h, RT::zero()));
+    if (obs.empty())
+        return beta;
+
+    const size_t last = obs.size() - 1;
+    for (int q = 0; q < h; ++q)
+        beta[last][q] = RT::one();
+    for (size_t t = last; t > 0; --t) {
+        for (int p = 0; p < h; ++p) {
+            T sum = RT::zero();
+            for (int q = 0; q < h; ++q) {
+                sum = sum + RT::fromDouble(model.aAt(p, q)) *
+                                RT::fromDouble(model.bAt(q, obs[t])) *
+                                beta[t][q];
+            }
+            beta[t - 1][p] = sum;
+        }
+    }
+    return beta;
+}
+
+/**
+ * Most likely hidden path (Viterbi), computed in log space double —
+ * max/argmax are order operations, so log space loses nothing here.
+ */
+struct ViterbiResult
+{
+    std::vector<int> path;
+    double log2_probability = -HUGE_VAL;
+};
+
+inline ViterbiResult
+viterbi(const Model &model, std::span<const int> obs)
+{
+    ViterbiResult out;
+    const int h = model.num_states;
+    if (obs.empty())
+        return out;
+
+    std::vector<std::vector<double>> delta(
+        obs.size(), std::vector<double>(h, -HUGE_VAL));
+    std::vector<std::vector<int>> from(obs.size(),
+                                       std::vector<int>(h, 0));
+
+    for (int q = 0; q < h; ++q) {
+        delta[0][q] =
+            std::log2(model.pi[q]) + std::log2(model.bAt(q, obs[0]));
+    }
+    for (size_t t = 1; t < obs.size(); ++t) {
+        for (int q = 0; q < h; ++q) {
+            double best = -HUGE_VAL;
+            int arg = 0;
+            for (int p = 0; p < h; ++p) {
+                const double cand =
+                    delta[t - 1][p] + std::log2(model.aAt(p, q));
+                if (cand > best) {
+                    best = cand;
+                    arg = p;
+                }
+            }
+            delta[t][q] = best + std::log2(model.bAt(q, obs[t]));
+            from[t][q] = arg;
+        }
+    }
+
+    const size_t last = obs.size() - 1;
+    int best_q = 0;
+    for (int q = 1; q < h; ++q) {
+        if (delta[last][q] > delta[last][best_q])
+            best_q = q;
+    }
+    out.log2_probability = delta[last][best_q];
+    out.path.resize(obs.size());
+    out.path[last] = best_q;
+    for (size_t t = last; t > 0; --t)
+        out.path[t - 1] = from[t][out.path[t]];
+    return out;
+}
+
+/**
+ * Posterior decoding: the most probable state at each position,
+ * arg max_q gamma_t(q) with gamma_t(q) = alpha_t(q) beta_t(q) / P(O).
+ * Scalar type T controls the arithmetic (the division cancels, so
+ * only the products matter).
+ */
+template <typename T>
+std::vector<int>
+posteriorDecode(const Model &model, std::span<const int> obs)
+{
+    const auto alpha = forwardMatrix<T>(model, obs);
+    const auto beta = backwardMatrix<T>(model, obs);
+    std::vector<int> path(obs.size(), 0);
+    for (size_t t = 0; t < obs.size(); ++t) {
+        T best = alpha[t][0] * beta[t][0];
+        for (int q = 1; q < model.num_states; ++q) {
+            const T cand = alpha[t][q] * beta[t][q];
+            if (best < cand) {
+                best = cand;
+                path[t] = q;
+            }
+        }
+    }
+    return path;
+}
+
+/**
+ * One Baum-Welch (EM) re-estimation step: returns an updated model
+ * whose A, B, pi are the expected-count ratios under the current
+ * model. Scalar type T controls the arithmetic of the E-step.
+ */
+template <typename T>
+Model
+baumWelchStep(const Model &model, std::span<const int> obs)
+{
+    using RT = RealTraits<T>;
+    const int h = model.num_states;
+    const int m = model.num_symbols;
+    const auto alpha = forwardMatrix<T>(model, obs);
+    const auto beta = backwardMatrix<T>(model, obs);
+
+    T likelihood = RT::zero();
+    for (int q = 0; q < h; ++q)
+        likelihood = likelihood + alpha.back()[q];
+
+    // gamma[t][q] = P(state q at t | O); xi accumulated directly.
+    Model next = model;
+    std::vector<double> gamma0(h, 0.0);
+    std::vector<std::vector<double>> xi_sum(
+        h, std::vector<double>(h, 0.0));
+    std::vector<std::vector<double>> gamma_sum(
+        h, std::vector<double>(h == 0 ? 0 : m, 0.0));
+    std::vector<double> gamma_tot(h, 0.0);
+
+    for (size_t t = 0; t < obs.size(); ++t) {
+        for (int q = 0; q < h; ++q) {
+            const T g = alpha[t][q] * beta[t][q] / likelihood;
+            const double gd = RT::toBigFloat(g).toDouble();
+            if (t == 0)
+                gamma0[q] = gd;
+            gamma_sum[q][obs[t]] += gd;
+            if (t + 1 < obs.size())
+                gamma_tot[q] += gd;
+        }
+        if (t + 1 < obs.size()) {
+            for (int p = 0; p < h; ++p) {
+                for (int q = 0; q < h; ++q) {
+                    const T x = alpha[t][p] *
+                                RT::fromDouble(model.aAt(p, q)) *
+                                RT::fromDouble(model.bAt(q, obs[t + 1])) *
+                                beta[t + 1][q] / likelihood;
+                    xi_sum[p][q] += RT::toBigFloat(x).toDouble();
+                }
+            }
+        }
+    }
+
+    for (int q = 0; q < h; ++q) {
+        next.pi[q] = gamma0[q];
+        for (int j = 0; j < h; ++j) {
+            next.a[static_cast<size_t>(q) * h + j] =
+                gamma_tot[q] > 0.0 ? xi_sum[q][j] / gamma_tot[q]
+                                   : model.aAt(q, j);
+        }
+        double emit_tot = 0.0;
+        for (int s = 0; s < m; ++s)
+            emit_tot += gamma_sum[q][s];
+        for (int s = 0; s < m; ++s) {
+            // Clamp away exact zeros: B entries must stay positive.
+            const double est = emit_tot > 0.0
+                                   ? gamma_sum[q][s] / emit_tot
+                                   : model.bAt(q, s);
+            next.b[static_cast<size_t>(q) * m + s] =
+                est > 1e-300 ? est : 1e-300;
+        }
+    }
+    return next;
+}
+
+} // namespace pstat::hmm
+
+#endif // PSTAT_HMM_ALGORITHMS_HH

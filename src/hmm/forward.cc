@@ -1,0 +1,163 @@
+#include "hmm/forward.hh"
+
+#include <cmath>
+
+namespace pstat::hmm
+{
+
+ForwardOutcome<LogDouble>
+forwardLogNary(const Model &model, std::span<const int> obs)
+{
+    const int h = model.num_states;
+    ForwardOutcome<LogDouble> out;
+    if (obs.empty())
+        return out;
+
+    // Pre-computed logarithms, as LoFreq/VICAR-style software does
+    // (ln_A and ln_B in Listing 3).
+    std::vector<double> ln_a(model.a.size());
+    for (size_t i = 0; i < ln_a.size(); ++i)
+        ln_a[i] = std::log(model.a[i]);
+    std::vector<double> ln_b(model.b.size());
+    for (size_t i = 0; i < ln_b.size(); ++i)
+        ln_b[i] = std::log(model.b[i]);
+
+    std::vector<double> alpha(h);
+    std::vector<double> alpha_prev(h);
+    std::vector<double> terms(h);
+    for (int q = 0; q < h; ++q) {
+        alpha_prev[q] =
+            std::log(model.pi[q]) +
+            ln_b[static_cast<size_t>(q) * model.num_symbols + obs[0]];
+    }
+
+    for (size_t t = 1; t < obs.size(); ++t) {
+        const int ot = obs[t];
+        for (int q = 0; q < h; ++q) {
+            for (int p = 0; p < h; ++p) {
+                terms[p] = alpha_prev[p] +
+                           ln_a[static_cast<size_t>(p) * h + q];
+            }
+            const double path_sum = logSumExp(terms);
+            alpha[q] =
+                path_sum +
+                ln_b[static_cast<size_t>(q) * model.num_symbols + ot];
+        }
+        std::swap(alpha, alpha_prev);
+    }
+
+    out.likelihood = LogDouble::fromLn(logSumExp(alpha_prev));
+    return out;
+}
+
+RescaledForwardResult
+forwardRescaled(const Model &model, std::span<const int> obs)
+{
+    const int h = model.num_states;
+    RescaledForwardResult out{-HUGE_VAL};
+    if (obs.empty())
+        return out;
+
+    std::vector<double> alpha(h);
+    std::vector<double> alpha_prev(h);
+    double log2_scale = 0.0;
+
+    for (int q = 0; q < h; ++q) {
+        alpha_prev[q] =
+            model.pi[q] * model.bAt(q, obs[0]);
+    }
+
+    auto rescale = [&](std::vector<double> &v) {
+        double sum = 0.0;
+        for (double x : v)
+            sum += x;
+        if (sum <= 0.0)
+            return false;
+        for (double &x : v)
+            x /= sum;
+        log2_scale += std::log2(sum);
+        return true;
+    };
+    if (!rescale(alpha_prev))
+        return out;
+
+    for (size_t t = 1; t < obs.size(); ++t) {
+        const int ot = obs[t];
+        for (int q = 0; q < h; ++q) {
+            double path_sum = 0.0;
+            for (int p = 0; p < h; ++p)
+                path_sum += alpha_prev[p] * model.aAt(p, q);
+            alpha[q] = path_sum * model.bAt(q, ot);
+        }
+        std::swap(alpha, alpha_prev);
+        if (!rescale(alpha_prev))
+            return out;
+    }
+
+    // After rescaling the alphas sum to 1, so the likelihood is just
+    // the accumulated scale.
+    out.log2_likelihood = log2_scale;
+    return out;
+}
+
+OracleForwardResult
+forwardOracle(const Model &model, std::span<const int> obs,
+              bool track_exponents)
+{
+    const int h = model.num_states;
+    OracleForwardResult out;
+    if (obs.empty())
+        return out;
+
+    std::vector<ScaledDD> alpha(h);
+    std::vector<ScaledDD> alpha_prev(h);
+    std::vector<ScaledDD> a(model.a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = ScaledDD(model.a[i]);
+    std::vector<ScaledDD> b(model.b.size());
+    for (size_t i = 0; i < b.size(); ++i)
+        b[i] = ScaledDD(model.b[i]);
+
+    for (int q = 0; q < h; ++q) {
+        alpha_prev[q] =
+            ScaledDD(model.pi[q]) *
+            b[static_cast<size_t>(q) * model.num_symbols + obs[0]];
+    }
+
+    auto record = [&]() {
+        if (!track_exponents)
+            return;
+        double best = -HUGE_VAL;
+        for (int q = 0; q < h; ++q) {
+            if (!alpha_prev[q].isZero())
+                best = std::max(best, alpha_prev[q].log2Abs());
+        }
+        out.alpha_max_log2.push_back(best);
+    };
+    record();
+
+    for (size_t t = 1; t < obs.size(); ++t) {
+        const int ot = obs[t];
+        for (int q = 0; q < h; ++q) {
+            ScaledDD path_sum;
+            for (int p = 0; p < h; ++p) {
+                path_sum = path_sum +
+                           alpha_prev[p] *
+                               a[static_cast<size_t>(p) * h + q];
+            }
+            alpha[q] =
+                path_sum *
+                b[static_cast<size_t>(q) * model.num_symbols + ot];
+        }
+        std::swap(alpha, alpha_prev);
+        record();
+    }
+
+    ScaledDD total;
+    for (int q = 0; q < h; ++q)
+        total = total + alpha_prev[q];
+    out.likelihood = total;
+    return out;
+}
+
+} // namespace pstat::hmm

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The forward algorithm in every number system under study.
+ *
+ * forward<T>() is Listing 1 of the paper as a template over the
+ * scalar type: binary64, Posit<N,ES>, BigFloat, ScaledDD (the
+ * oracle), and LogDouble all run the identical kernel. For LogDouble
+ * the operators already implement log-space semantics (binary LSE
+ * chains), which is what straightforward log-space software does;
+ * forwardLogNary() is the Listing-3 variant that uses the n-ary LSE
+ * of Equation (3), matching the paper's accelerator dataflow.
+ *
+ * The Reduction policy selects how the innermost accumulation (line 8
+ * of Listing 1) is ordered: Sequential matches a software loop, Tree
+ * matches the accelerator's parallel reduction tree.
+ */
+
+#ifndef PSTAT_HMM_FORWARD_HH
+#define PSTAT_HMM_FORWARD_HH
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/dd.hh"
+#include "core/logspace.hh"
+#include "core/real_traits.hh"
+#include "hmm/model.hh"
+
+namespace pstat::hmm
+{
+
+/** Innermost-loop accumulation order. */
+enum class Reduction
+{
+    Sequential, //!< left-to-right software loop
+    Tree        //!< pairwise reduction tree (accelerator dataflow)
+};
+
+/** Result of a forward run in scalar type T. */
+template <typename T>
+struct ForwardOutcome
+{
+    T likelihood = RealTraits<T>::zero();
+    /**
+     * First outer iteration at which every alpha state was zero
+     * (total underflow), or -1 if that never happened.
+     */
+    int first_underflow_step = -1;
+};
+
+/** Pairwise tree reduction; consumes the buffer. */
+template <typename T>
+T
+reduceTree(std::vector<T> &buf)
+{
+    if (buf.empty())
+        return RealTraits<T>::zero();
+    size_t n = buf.size();
+    while (n > 1) {
+        const size_t half = n / 2;
+        for (size_t i = 0; i < half; ++i)
+            buf[i] = buf[2 * i] + buf[2 * i + 1];
+        if (n % 2 != 0) {
+            buf[half] = buf[n - 1];
+            n = half + 1;
+        } else {
+            n = half;
+        }
+    }
+    return buf[0];
+}
+
+/**
+ * Listing 1: iteratively multiply-accumulate alpha states and return
+ * the total likelihood P(O | lambda).
+ */
+template <typename T>
+ForwardOutcome<T>
+forward(const Model &model, std::span<const int> obs,
+        Reduction reduction = Reduction::Sequential)
+{
+    using RT = RealTraits<T>;
+    const int h = model.num_states;
+    ForwardOutcome<T> out;
+    if (obs.empty())
+        return out;
+
+    // Convert inputs once, as an accelerator would at load time.
+    std::vector<T> a(static_cast<size_t>(h) * h);
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = RT::fromDouble(model.a[i]);
+    std::vector<T> b(model.b.size());
+    for (size_t i = 0; i < b.size(); ++i)
+        b[i] = RT::fromDouble(model.b[i]);
+
+    std::vector<T> alpha(h);
+    std::vector<T> alpha_prev(h);
+    std::vector<T> terms(h);
+    for (int q = 0; q < h; ++q) {
+        alpha_prev[q] =
+            RT::fromDouble(model.pi[q]) *
+            b[static_cast<size_t>(q) * model.num_symbols + obs[0]];
+    }
+
+    for (size_t t = 1; t < obs.size(); ++t) {
+        const int ot = obs[t];
+        for (int q = 0; q < h; ++q) {
+            T path_sum = RT::zero();
+            if (reduction == Reduction::Sequential) {
+                for (int p = 0; p < h; ++p) {
+                    path_sum = path_sum +
+                               alpha_prev[p] *
+                                   a[static_cast<size_t>(p) * h + q];
+                }
+            } else {
+                for (int p = 0; p < h; ++p) {
+                    terms[p] = alpha_prev[p] *
+                               a[static_cast<size_t>(p) * h + q];
+                }
+                path_sum = reduceTree(terms);
+                terms.resize(h);
+            }
+            alpha[q] =
+                path_sum *
+                b[static_cast<size_t>(q) * model.num_symbols + ot];
+        }
+        std::swap(alpha, alpha_prev);
+
+        if (out.first_underflow_step < 0) {
+            bool all_zero = true;
+            for (int q = 0; q < h; ++q)
+                all_zero = all_zero && RT::isZero(alpha_prev[q]);
+            if (all_zero)
+                out.first_underflow_step = static_cast<int>(t);
+        }
+    }
+
+    if (reduction == Reduction::Sequential) {
+        T total = RealTraits<T>::zero();
+        for (int q = 0; q < h; ++q)
+            total = total + alpha_prev[q];
+        out.likelihood = total;
+    } else {
+        out.likelihood = reduceTree(alpha_prev);
+    }
+    return out;
+}
+
+/**
+ * Listing 3: the forward algorithm in log space with the n-ary LSE
+ * of Equation (3), the exact dataflow of the paper's log-based
+ * accelerator PE (max tree, exponentials, adder tree, single log).
+ */
+ForwardOutcome<LogDouble> forwardLogNary(const Model &model,
+                                         std::span<const int> obs);
+
+/**
+ * The classic rescaling baseline from the related work (Section
+ * VII): binary64 with per-step normalization of alpha by its sum and
+ * an accumulated log-likelihood. Returns log2 of the likelihood.
+ */
+struct RescaledForwardResult
+{
+    double log2_likelihood;
+};
+RescaledForwardResult forwardRescaled(const Model &model,
+                                      std::span<const int> obs);
+
+/**
+ * Oracle forward run (ScaledDD scalar, ~31 significant digits with
+ * unbounded exponent). Optionally records the base-2 exponent of the
+ * largest alpha state after every outer iteration (Figure 1).
+ */
+struct OracleForwardResult
+{
+    ScaledDD likelihood;
+    std::vector<double> alpha_max_log2; //!< per-step, if requested
+};
+OracleForwardResult forwardOracle(const Model &model,
+                                  std::span<const int> obs,
+                                  bool track_exponents = false);
+
+} // namespace pstat::hmm
+
+#endif // PSTAT_HMM_FORWARD_HH

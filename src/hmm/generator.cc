@@ -1,0 +1,156 @@
+#include "hmm/generator.hh"
+
+#include <cmath>
+
+#include "stats/distributions.hh"
+
+namespace pstat::hmm
+{
+
+namespace
+{
+
+/** Floor for generated probabilities so logs/likelihoods stay finite. */
+constexpr double prob_floor = 1e-12;
+
+void
+clampRow(std::vector<double> &row)
+{
+    double sum = 0.0;
+    for (double &p : row) {
+        p = p < prob_floor ? prob_floor : p;
+        sum += p;
+    }
+    for (double &p : row)
+        p /= sum;
+}
+
+} // namespace
+
+Model
+makeDirichletModel(stats::Rng &rng, int num_states, int num_symbols,
+                   double alpha)
+{
+    Model m;
+    m.num_states = num_states;
+    m.num_symbols = num_symbols;
+    m.a.resize(static_cast<size_t>(num_states) * num_states);
+    m.b.resize(static_cast<size_t>(num_states) * num_symbols);
+    m.pi.resize(num_states);
+
+    for (int i = 0; i < num_states; ++i) {
+        auto row = stats::sampleDirichlet(rng, num_states, alpha);
+        clampRow(row);
+        for (int j = 0; j < num_states; ++j)
+            m.a[static_cast<size_t>(i) * num_states + j] = row[j];
+    }
+    for (int q = 0; q < num_states; ++q) {
+        auto row = stats::sampleDirichlet(rng, num_symbols, alpha);
+        clampRow(row);
+        for (int s = 0; s < num_symbols; ++s)
+            m.b[static_cast<size_t>(q) * num_symbols + s] = row[s];
+    }
+    auto init = stats::sampleDirichlet(rng, num_states, alpha);
+    clampRow(init);
+    m.pi = init;
+    return m;
+}
+
+Model
+makePhyloModel(stats::Rng &rng, const PhyloConfig &config)
+{
+    const int h = config.num_states;
+    const int m_sym = config.num_symbols;
+    Model m;
+    m.num_states = h;
+    m.num_symbols = m_sym;
+    m.a.resize(static_cast<size_t>(h) * h);
+    m.b.resize(static_cast<size_t>(h) * m_sym);
+    m.pi.resize(h);
+
+    // Transitions: heavy self-transition (no recombination between
+    // adjacent sites), remaining mass Dirichlet over other trees.
+    for (int i = 0; i < h; ++i) {
+        auto off = stats::sampleDirichlet(rng, h - 1, 1.0);
+        int idx = 0;
+        double row_rest = 1.0 - config.self_prob;
+        for (int j = 0; j < h; ++j) {
+            double p = (j == i) ? config.self_prob
+                                : row_rest * off[idx++];
+            p = p < prob_floor ? prob_floor : p;
+            m.a[static_cast<size_t>(i) * h + j] = p;
+        }
+        // Renormalize after flooring.
+        double sum = 0.0;
+        for (int j = 0; j < h; ++j)
+            sum += m.a[static_cast<size_t>(i) * h + j];
+        for (int j = 0; j < h; ++j)
+            m.a[static_cast<size_t>(i) * h + j] /= sum;
+    }
+
+    // Emission likelihoods: Dirichlet shape per state scaled so that
+    // a uniform observation stream loses ~decay_bits_per_site per
+    // step. A Dirichlet row has mean entry 1/M; scaling the row by
+    // M * 2^-decay makes the expected log2 close to -decay (with
+    // per-entry variance retained). Entries are clamped to (0, 1].
+    const double scale =
+        static_cast<double>(m_sym) *
+        std::pow(2.0, -config.decay_bits_per_site);
+    for (int q = 0; q < h; ++q) {
+        auto row = stats::sampleDirichlet(rng, m_sym,
+                                          config.emission_alpha);
+        for (int s = 0; s < m_sym; ++s) {
+            double v = row[s] * scale;
+            if (v > 1.0)
+                v = 1.0;
+            if (v < 1e-300)
+                v = 1e-300;
+            m.b[static_cast<size_t>(q) * m_sym + s] = v;
+        }
+    }
+
+    auto init = stats::sampleDirichlet(rng, h, 2.0);
+    clampRow(init);
+    m.pi = init;
+    return m;
+}
+
+std::vector<int>
+sampleObservations(stats::Rng &rng, const Model &model, size_t length)
+{
+    std::vector<int> obs(length);
+    if (length == 0)
+        return obs;
+
+    // Hidden path from pi/A; emissions from normalized B rows (B may
+    // hold unnormalized likelihoods, so normalize for sampling).
+    const int h = model.num_states;
+    const int m_sym = model.num_symbols;
+    std::vector<double> weights(h);
+    for (int q = 0; q < h; ++q)
+        weights[q] = model.pi[q];
+    int state = static_cast<int>(stats::sampleDiscrete(rng, weights));
+
+    std::vector<double> emission(m_sym);
+    for (size_t t = 0; t < length; ++t) {
+        for (int s = 0; s < m_sym; ++s)
+            emission[s] = model.bAt(state, s);
+        obs[t] = static_cast<int>(stats::sampleDiscrete(rng, emission));
+        for (int q = 0; q < h; ++q)
+            weights[q] = model.aAt(state, q);
+        state = static_cast<int>(stats::sampleDiscrete(rng, weights));
+    }
+    return obs;
+}
+
+std::vector<int>
+sampleUniformObservations(stats::Rng &rng, int num_symbols,
+                          size_t length)
+{
+    std::vector<int> obs(length);
+    for (auto &o : obs)
+        o = static_cast<int>(rng.below(num_symbols));
+    return obs;
+}
+
+} // namespace pstat::hmm

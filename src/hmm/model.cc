@@ -1,0 +1,76 @@
+#include "hmm/model.hh"
+
+#include <cmath>
+
+namespace pstat::hmm
+{
+
+bool
+Model::validate(double tol) const
+{
+    const auto h = static_cast<size_t>(num_states);
+    const auto m = static_cast<size_t>(num_symbols);
+    if (num_states <= 0 || num_symbols <= 0)
+        return false;
+    if (a.size() != h * h || b.size() != h * m || pi.size() != h)
+        return false;
+
+    double pi_sum = 0.0;
+    for (double p : pi) {
+        if (!(p >= 0.0 && p <= 1.0))
+            return false;
+        pi_sum += p;
+    }
+    if (std::fabs(pi_sum - 1.0) > tol)
+        return false;
+
+    for (int i = 0; i < num_states; ++i) {
+        double row = 0.0;
+        for (int j = 0; j < num_states; ++j) {
+            const double p = aAt(i, j);
+            if (!(p >= 0.0 && p <= 1.0))
+                return false;
+            row += p;
+        }
+        if (std::fabs(row - 1.0) > tol)
+            return false;
+    }
+
+    for (double p : b) {
+        if (!(p > 0.0 && p <= 1.0))
+            return false;
+    }
+    return true;
+}
+
+double
+enumerateLikelihood(const Model &model, std::span<const int> obs)
+{
+    const int h = model.num_states;
+    const auto t_len = obs.size();
+    if (t_len == 0)
+        return 1.0;
+
+    // Iterate over all H^T paths with an odometer.
+    std::vector<int> path(t_len, 0);
+    double total = 0.0;
+    for (;;) {
+        double p = model.pi[path[0]] * model.bAt(path[0], obs[0]);
+        for (size_t t = 1; t < t_len; ++t) {
+            p *= model.aAt(path[t - 1], path[t]) *
+                 model.bAt(path[t], obs[t]);
+        }
+        total += p;
+
+        size_t pos = 0;
+        while (pos < t_len && ++path[pos] == h) {
+            path[pos] = 0;
+            ++pos;
+        }
+        if (pos == t_len)
+            break;
+    }
+    return total;
+}
+
+} // namespace pstat::hmm

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Poisson Binomial Distribution kernels (Listing 2 of the paper).
+ *
+ * Given N independent Bernoulli trials with success probabilities
+ * p_1..p_N, the PMF Pr_n(X = k) is built iteratively; the p-value
+ * used by LoFreq-style variant callers is the upper tail P(X >= K).
+ * Following Listing 2, the tail is accumulated incrementally: the
+ * K-th success occurs exactly at trial n with probability
+ * Pr_{n-1}(X = K-1) * p_n, so
+ *
+ *     P(X >= K) = sum_{n=K..N} Pr_{n-1}(X = K-1) * p_n.
+ *
+ * (The paper's listing guards this accumulation with `n > K`; the
+ * mathematically complete bound is n >= K — the n = K term is the
+ * probability that every one of the first K trials succeeds — and
+ * the test suite verifies this form against brute-force enumeration.)
+ *
+ * All kernels are templates over the scalar type T, so the identical
+ * dataflow runs in binary64, log-space, posit, and oracle arithmetic.
+ */
+
+#ifndef PSTAT_PBD_PBD_HH
+#define PSTAT_PBD_PBD_HH
+
+#include <span>
+#include <vector>
+
+#include "core/dd.hh"
+#include "core/real_traits.hh"
+
+namespace pstat::pbd
+{
+
+/**
+ * PMF after all trials: returns Pr_N(X = k) for k = 0..k_max.
+ * Cost O(N * k_max).
+ */
+template <typename T>
+std::vector<T>
+pmf(std::span<const double> success_probs, int k_max)
+{
+    using RT = RealTraits<T>;
+    std::vector<T> pr(static_cast<size_t>(k_max) + 1, RT::zero());
+    std::vector<T> pr_prev(static_cast<size_t>(k_max) + 1, RT::zero());
+    pr_prev[0] = RT::one();
+
+    for (size_t n = 1; n <= success_probs.size(); ++n) {
+        const double pn = success_probs[n - 1];
+        const T p = RT::fromDouble(pn);
+        const T q = RT::fromDouble(1.0 - pn);
+        const auto hi =
+            n < static_cast<size_t>(k_max) ? n : static_cast<size_t>(k_max);
+        for (size_t k = hi; k >= 1; --k)
+            pr[k] = pr_prev[k] * q + pr_prev[k - 1] * p;
+        pr[0] = pr_prev[0] * q;
+        std::swap(pr, pr_prev);
+    }
+    return pr_prev;
+}
+
+/**
+ * Upper-tail p-value P(X >= K) via the incremental accumulation of
+ * Listing 2. Cost O(N * K) — this is the kernel the column-unit
+ * accelerator implements.
+ */
+template <typename T>
+T
+pvalue(std::span<const double> success_probs, int k_threshold)
+{
+    using RT = RealTraits<T>;
+    if (k_threshold <= 0)
+        return RT::one();
+
+    const auto kcap = static_cast<size_t>(k_threshold);
+    // pr[k] = Pr_n(X = k) for k < K; states >= K are absorbed by the
+    // running p-value.
+    std::vector<T> pr(kcap, RT::zero());
+    std::vector<T> pr_prev(kcap, RT::zero());
+    pr_prev[0] = RT::one();
+    T pval = RT::zero();
+
+    for (size_t n = 1; n <= success_probs.size(); ++n) {
+        const double pn = success_probs[n - 1];
+        const T p = RT::fromDouble(pn);
+        const T q = RT::fromDouble(1.0 - pn);
+
+        if (n >= kcap)
+            pval = pval + pr_prev[kcap - 1] * p;
+
+        const auto hi = n < kcap - 1 ? n : kcap - 1;
+        for (size_t k = hi; k >= 1; --k)
+            pr[k] = pr_prev[k] * q + pr_prev[k - 1] * p;
+        pr[0] = pr_prev[0] * q;
+        std::swap(pr, pr_prev);
+    }
+    return pval;
+}
+
+/** Oracle p-value (ScaledDD arithmetic). */
+inline ScaledDD
+pvalueOracle(std::span<const double> success_probs, int k_threshold)
+{
+    return pvalue<ScaledDD>(success_probs, k_threshold);
+}
+
+/**
+ * Closed-form cross-check for equal success probabilities: the
+ * binomial tail P(X >= K) computed term by term in BigFloat.
+ */
+BigFloat binomialTailExact(int n, double p, int k_threshold);
+
+/**
+ * PMF via Hong's DFT-CF method (characteristic function + inverse
+ * DFT; reference [32] of the paper). O(n^2) without an FFT, double
+ * precision only — an algorithmically independent cross-check of the
+ * Listing-2 dynamic program inside binary64's range. Returns
+ * Pr(X = k) for k = 0..n.
+ */
+std::vector<double> pmfDftCf(std::span<const double> success_probs);
+
+/** Upper tail P(X >= K) from the DFT-CF PMF. */
+double pvalueDftCf(std::span<const double> success_probs,
+                   int k_threshold);
+
+/**
+ * Fast Cramér–Chernoff estimate of log2 P(X >= K): the exact
+ * large-deviation rate -N*H(K/N || mu/N) (relative entropy) plus a
+ * Gaussian prefactor. Used by variant callers as a pre-filter
+ * before the exact O(N*K) dynamic program: columns whose estimated
+ * tail is far above the significance threshold can skip the DP.
+ * Accurate to a few percent of the log across both the CLT and the
+ * deep-tail regimes.
+ */
+double pvalueLog2Estimate(std::span<const double> success_probs,
+                          int k_threshold);
+
+} // namespace pstat::pbd
+
+#endif // PSTAT_PBD_PBD_HH

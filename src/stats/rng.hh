@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All experiments in PositStat must be exactly reproducible from a seed,
+ * so we ship our own generator rather than relying on the (unspecified)
+ * distributions in <random>. The core generator is xoshiro256**, seeded
+ * via splitmix64 as recommended by its authors.
+ */
+
+#ifndef PSTAT_STATS_RNG_HH
+#define PSTAT_STATS_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace pstat::stats
+{
+
+/** One step of the splitmix64 sequence; used for seeding. */
+constexpr uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** pseudo-random generator.
+ *
+ * Fast, high-quality, and fully deterministic across platforms. Not
+ * cryptographic. Satisfies the UniformRandomBitGenerator concept so it
+ * can also feed standard-library distributions when convenient.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit constexpr Rng(uint64_t seed = 0x9d8f7a6b5c4d3e2fULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    static constexpr uint64_t min() { return 0; }
+    static constexpr uint64_t max() { return ~0ULL; }
+
+    /** Next raw 64-bit output. */
+    constexpr uint64_t
+    operator()()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
+
+    /** Uniform double in [0, 1) with 53 random bits. */
+    constexpr double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    constexpr double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Uses rejection to avoid modulo bias. */
+    constexpr uint64_t
+    below(uint64_t n)
+    {
+        if (n <= 1)
+            return 0;
+        const uint64_t threshold = (0 - n) % n;
+        for (;;) {
+            const uint64_t r = (*this)();
+            if (r >= threshold)
+                return r % n;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    constexpr int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+                below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli trial with success probability p. */
+    constexpr bool chance(double p) { return uniform() < p; }
+
+    /** Derive an independent child generator (for parallel streams). */
+    constexpr Rng
+    split()
+    {
+        const uint64_t a = (*this)();
+        const uint64_t b = (*this)();
+        return Rng(a ^ rotl(b, 32));
+    }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<uint64_t, 4> state_ = {};
+};
+
+} // namespace pstat::stats
+
+#endif // PSTAT_STATS_RNG_HH

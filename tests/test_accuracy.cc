@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests of the accuracy-measurement harness plus small-sample
+ * versions of the paper's Figure 3 claims (the full sweep lives in
+ * bench_fig03_op_accuracy).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy.hh"
+#include "stats/rng.hh"
+#include "stats/summary.hh"
+
+namespace
+{
+
+using namespace pstat;
+using namespace pstat::accuracy;
+
+TEST(RelErrLog10, Sentinels)
+{
+    const BigFloat x = BigFloat::fromDouble(2.0);
+    EXPECT_EQ(relErrLog10(x, x), exact_log10);
+    EXPECT_EQ(relErrLog10(x, BigFloat::nan()), invalid_log10);
+    EXPECT_EQ(relErrLog10(BigFloat::nan(), x), invalid_log10);
+    EXPECT_EQ(relErrLog10(x, BigFloat::zero()), invalid_log10);
+    EXPECT_EQ(relErrLog10(BigFloat::zero(), BigFloat::zero()),
+              exact_log10);
+    EXPECT_EQ(relErrLog10(BigFloat::zero(), x), invalid_log10);
+}
+
+TEST(RelErrLog10, Magnitudes)
+{
+    const BigFloat exact = BigFloat::fromDouble(1.0);
+    EXPECT_NEAR(relErrLog10(exact, BigFloat::fromDouble(1.001)),
+                -3.0, 0.01);
+    EXPECT_NEAR(relErrLog10(exact, BigFloat::fromDouble(1.0 + 1e-9)),
+                -9.0, 0.01);
+    // Relative error can exceed 1 (paper Section VI-D).
+    EXPECT_NEAR(relErrLog10(exact, BigFloat::fromDouble(101.0)), 2.0,
+                0.01);
+}
+
+TEST(OpInFormat, Binary64MatchesNativeArithmetic)
+{
+    const BigFloat a = BigFloat::fromDouble(0.1);
+    const BigFloat b = BigFloat::fromDouble(0.2);
+    const BigFloat sum = opInFormat<double>(Op::Add, a, b);
+    EXPECT_EQ(sum.toDouble(), 0.1 + 0.2);
+    const BigFloat prod = opInFormat<double>(Op::Mul, a, b);
+    EXPECT_EQ(prod.toDouble(), 0.1 * 0.2);
+}
+
+TEST(OpInFormat, PositIsCorrectlyRounded)
+{
+    const BigFloat a = BigFloat::fromDouble(0.1);
+    const BigFloat b = BigFloat::fromDouble(0.2);
+    const BigFloat got = opInFormat<Posit<64, 12>>(Op::Add, a, b);
+    const auto pa = Posit<64, 12>::fromBigFloat(a);
+    const auto pb = Posit<64, 12>::fromBigFloat(b);
+    EXPECT_EQ(got.toDouble(), (pa + pb).toDouble());
+}
+
+TEST(OpInFormat, LogSpaceRoundTripsThroughLn)
+{
+    const BigFloat a = BigFloat::twoPow(-5000);
+    const BigFloat b = BigFloat::twoPow(-5001);
+    const BigFloat got = opInFormat<LogDouble>(Op::Mul, a, b);
+    EXPECT_NEAR(got.log2Abs(), -10001.0, 1e-6);
+}
+
+/**
+ * Figure 3, first key takeaway (small-sample form): within
+ * binary64's normal range, log-space addition is *less* accurate
+ * than binary64 addition, and the gap grows as numbers shrink.
+ */
+TEST(Figure3Claims, LogWorseThanBinary64InNormalRange)
+{
+    stats::Rng rng(77);
+    for (double exp2 : {-900.0, -500.0, -100.0}) {
+        double log_err_sum = 0.0;
+        double b64_err_sum = 0.0;
+        const int n = 200;
+        for (int i = 0; i < n; ++i) {
+            const BigFloat a =
+                BigFloat::twoPow(static_cast<int64_t>(exp2)) *
+                BigFloat::fromDouble(rng.uniform(1.0, 2.0));
+            const BigFloat b =
+                BigFloat::twoPow(static_cast<int64_t>(exp2) - 2) *
+                BigFloat::fromDouble(rng.uniform(1.0, 2.0));
+            log_err_sum += measureOp<LogDouble>(Op::Add, a, b);
+            b64_err_sum += measureOp<double>(Op::Add, a, b);
+        }
+        EXPECT_GT(log_err_sum / n, b64_err_sum / n + 1.0)
+            << "at exponent " << exp2;
+    }
+}
+
+/** Log accuracy degrades as magnitude shrinks (precision loss). */
+TEST(Figure3Claims, LogAccuracyDegradesWithMagnitude)
+{
+    stats::Rng rng(78);
+    auto mean_err = [&rng](double exp2) {
+        double sum = 0.0;
+        const int n = 300;
+        for (int i = 0; i < n; ++i) {
+            const BigFloat a =
+                BigFloat::twoPow(static_cast<int64_t>(exp2)) *
+                BigFloat::fromDouble(rng.uniform(1.0, 2.0));
+            const BigFloat b =
+                BigFloat::twoPow(static_cast<int64_t>(exp2) - 1) *
+                BigFloat::fromDouble(rng.uniform(1.0, 2.0));
+            sum += measureOp<LogDouble>(Op::Add, a, b);
+        }
+        return sum / n;
+    };
+    EXPECT_GT(mean_err(-8000.0), mean_err(-1000.0) + 0.5);
+    EXPECT_GT(mean_err(-1000.0), mean_err(-50.0) + 0.5);
+}
+
+/**
+ * Second key takeaway: outside binary64's range, posits beat logs
+ * (except posit(64,9) deep in its regime-heavy zone).
+ */
+TEST(Figure3Claims, PositBeatsLogOutsideBinary64Range)
+{
+    stats::Rng rng(79);
+    for (double exp2 : {-3000.0, -5000.0, -9000.0}) {
+        double log_err = 0.0;
+        double p12_err = 0.0;
+        double p18_err = 0.0;
+        const int n = 200;
+        for (int i = 0; i < n; ++i) {
+            const BigFloat a =
+                BigFloat::twoPow(static_cast<int64_t>(exp2)) *
+                BigFloat::fromDouble(rng.uniform(1.0, 2.0));
+            const BigFloat b =
+                BigFloat::twoPow(static_cast<int64_t>(exp2) - 3) *
+                BigFloat::fromDouble(rng.uniform(1.0, 2.0));
+            log_err += measureOp<LogDouble>(Op::Add, a, b);
+            p12_err += measureOp<Posit<64, 12>>(Op::Add, a, b);
+            p18_err += measureOp<Posit<64, 18>>(Op::Add, a, b);
+        }
+        EXPECT_LT(p12_err / n, log_err / n - 0.5) << exp2;
+        EXPECT_LT(p18_err / n, log_err / n - 0.5) << exp2;
+    }
+}
+
+/** binary64 simply dies outside its range; posit does not. */
+TEST(Figure3Claims, Binary64UnderflowsOutsideRange)
+{
+    const BigFloat a = BigFloat::twoPow(-2000);
+    const BigFloat b = BigFloat::twoPow(-2001);
+    EXPECT_EQ(measureOp<double>(Op::Add, a, b), invalid_log10);
+    const double posit18_err =
+        measureOp<Posit<64, 18>>(Op::Add, a, b);
+    EXPECT_LT(posit18_err, -8.0);
+}
+
+/**
+ * Posit(64,9) in its regime-heavy zone [-10000, -6000) loses to the
+ * other posits (the paper's noted exception).
+ */
+TEST(Figure3Claims, Posit9CollapsesInRegimeHeavyZone)
+{
+    stats::Rng rng(80);
+    double p9 = 0.0;
+    double p12 = 0.0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+        const BigFloat a = BigFloat::twoPow(-8000) *
+                           BigFloat::fromDouble(rng.uniform(1.0, 2.0));
+        const BigFloat b = BigFloat::twoPow(-8001) *
+                           BigFloat::fromDouble(rng.uniform(1.0, 2.0));
+        p9 += measureOp<Posit<64, 9>>(Op::Mul, a, b);
+        p12 += measureOp<Posit<64, 12>>(Op::Mul, a, b);
+    }
+    EXPECT_GT(p9 / n, p12 / n + 1.0);
+}
+
+/** Posit(64,9) has the best accuracy inside binary64's range. */
+TEST(Figure3Claims, Posit9BestInNormalRange)
+{
+    stats::Rng rng(81);
+    double p9 = 0.0;
+    double p18 = 0.0;
+    double lg = 0.0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+        const BigFloat a = BigFloat::twoPow(-60) *
+                           BigFloat::fromDouble(rng.uniform(1.0, 2.0));
+        const BigFloat b = BigFloat::twoPow(-61) *
+                           BigFloat::fromDouble(rng.uniform(1.0, 2.0));
+        p9 += measureOp<Posit<64, 9>>(Op::Add, a, b);
+        p18 += measureOp<Posit<64, 18>>(Op::Add, a, b);
+        lg += measureOp<LogDouble>(Op::Add, a, b);
+    }
+    EXPECT_LT(p9 / n, p18 / n - 0.5);
+    EXPECT_LT(p9 / n, lg / n - 0.5);
+}
+
+} // namespace

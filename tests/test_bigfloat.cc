@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Unit tests for the BigFloat oracle (the MPFR substitute).
+ */
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "bigfloat/bigfloat.hh"
+
+namespace
+{
+
+using pstat::BigFloat;
+
+TEST(BigFloatBasics, ZeroAndNaN)
+{
+    EXPECT_TRUE(BigFloat().isZero());
+    EXPECT_TRUE(BigFloat::zero().isZero());
+    EXPECT_TRUE(BigFloat::nan().isNaN());
+    EXPECT_FALSE(BigFloat::nan().isFinite());
+    EXPECT_TRUE(BigFloat::one().isFinite());
+    EXPECT_EQ(BigFloat::zero().toDouble(), 0.0);
+    EXPECT_TRUE(std::isnan(BigFloat::nan().toDouble()));
+}
+
+TEST(BigFloatBasics, FromIntExactness)
+{
+    for (int64_t v : {1LL, -1LL, 2LL, 3LL, 12345LL, -987654321LL,
+                      (1LL << 62), -(1LL << 62)}) {
+        EXPECT_EQ(BigFloat::fromInt(v).toDouble(),
+                  static_cast<double>(v));
+    }
+    EXPECT_TRUE(BigFloat::fromInt(0).isZero());
+}
+
+TEST(BigFloatBasics, TwoPow)
+{
+    EXPECT_EQ(BigFloat::twoPow(0).toDouble(), 1.0);
+    EXPECT_EQ(BigFloat::twoPow(10).toDouble(), 1024.0);
+    EXPECT_EQ(BigFloat::twoPow(-3).toDouble(), 0.125);
+    EXPECT_EQ(BigFloat::twoPow(-2000).exponent(), -2000);
+    EXPECT_EQ(BigFloat::twoPow(-2900000).exponent(), -2900000);
+}
+
+TEST(BigFloatBasics, RoundTripDoubles)
+{
+    std::mt19937_64 gen(42);
+    std::uniform_real_distribution<double> dist(-1e100, 1e100);
+    for (int i = 0; i < 100000; ++i) {
+        const double d = dist(gen);
+        EXPECT_EQ(BigFloat::fromDouble(d).toDouble(), d);
+    }
+}
+
+TEST(BigFloatBasics, RoundTripSubnormals)
+{
+    for (double d :
+         {5e-324, 1e-320, 2.2250738585072014e-308 / 3, -5e-324}) {
+        EXPECT_EQ(BigFloat::fromDouble(d).toDouble(), d) << d;
+    }
+}
+
+TEST(BigFloatBasics, ToDoubleOverflowAndUnderflow)
+{
+    EXPECT_EQ(BigFloat::twoPow(1500).toDouble(), HUGE_VAL);
+    EXPECT_EQ((-BigFloat::twoPow(1500)).toDouble(), -HUGE_VAL);
+    // Far below the subnormal range: rounds to zero.
+    EXPECT_EQ(BigFloat::twoPow(-1500).toDouble(), 0.0);
+}
+
+TEST(BigFloatBasics, Exponent)
+{
+    EXPECT_EQ(BigFloat::fromDouble(1.0).exponent(), 0);
+    EXPECT_EQ(BigFloat::fromDouble(1.5).exponent(), 0);
+    EXPECT_EQ(BigFloat::fromDouble(2.0).exponent(), 1);
+    EXPECT_EQ(BigFloat::fromDouble(0.75).exponent(), -1);
+}
+
+TEST(BigFloatArith, MatchesDoubleWhenExact)
+{
+    // Products/sums of 26-bit integers are exact in both systems.
+    std::mt19937_64 gen(7);
+    for (int i = 0; i < 50000; ++i) {
+        const auto a = static_cast<double>(gen() >> 38);
+        const auto b = static_cast<double>(gen() >> 38) + 1.0;
+        const BigFloat ba = BigFloat::fromDouble(a);
+        const BigFloat bb = BigFloat::fromDouble(b);
+        EXPECT_EQ((ba + bb).toDouble(), a + b);
+        EXPECT_EQ((ba - bb).toDouble(), a - b);
+        EXPECT_EQ((ba * bb).toDouble(), a * b);
+    }
+}
+
+TEST(BigFloatArith, DivisionTimesBackIsExactHere)
+{
+    // 3/7 is periodic binary; (3/7)*7 rounds back to exactly 3
+    // because the quotient error is half an ulp scaled by 7 < 8.
+    const BigFloat q = BigFloat::fromInt(3) / BigFloat::fromInt(7);
+    EXPECT_EQ((q * BigFloat::fromInt(7)).toDouble(), 3.0);
+}
+
+TEST(BigFloatArith, DivisionExactCases)
+{
+    const BigFloat a = BigFloat::fromDouble(10.0);
+    EXPECT_EQ((a / BigFloat::fromDouble(2.0)).toDouble(), 5.0);
+    EXPECT_EQ((a / BigFloat::fromDouble(-4.0)).toDouble(), -2.5);
+    EXPECT_TRUE((a / BigFloat::zero()).isNaN());
+    EXPECT_TRUE((BigFloat::zero() / a).isZero());
+}
+
+TEST(BigFloatArith, DivSmallMatchesFullDivision)
+{
+    std::mt19937_64 gen(11);
+    std::uniform_real_distribution<double> dist(-1e6, 1e6);
+    for (int i = 0; i < 2000; ++i) {
+        const BigFloat x = BigFloat::fromDouble(dist(gen));
+        const uint64_t d = (gen() % 1000) + 1;
+        const BigFloat expect =
+            x / BigFloat::fromInt(static_cast<int64_t>(d));
+        EXPECT_EQ(x.divSmall(d), expect)
+            << "divisor " << d << " value " << x.dump();
+    }
+}
+
+TEST(BigFloatArith, CancellationIsExact)
+{
+    const BigFloat a = BigFloat::fromDouble(1.0);
+    const BigFloat b = BigFloat::fromDouble(1.0);
+    EXPECT_TRUE((a - b).isZero());
+
+    // (1 + 2^-200) - 1 == 2^-200 exactly (inside 256-bit precision).
+    const BigFloat tiny = BigFloat::twoPow(-200);
+    EXPECT_EQ(((a + tiny) - a), tiny);
+}
+
+TEST(BigFloatArith, StickyRoundingFarApart)
+{
+    // 1 +- 2^-400 is not representable in 256 bits; both correctly
+    // round back to exactly 1 (the perturbation is far below half an
+    // ulp of 1).
+    const BigFloat one = BigFloat::one();
+    const BigFloat tiny = BigFloat::twoPow(-400);
+    EXPECT_EQ(one + tiny, one);
+    EXPECT_EQ(one - tiny, one);
+    // A representable perturbation keeps directionality.
+    const BigFloat small = BigFloat::twoPow(-250);
+    EXPECT_TRUE(one - small < one);
+    EXPECT_TRUE(one + small > one);
+}
+
+TEST(BigFloatArith, NegationAndAbs)
+{
+    const BigFloat x = BigFloat::fromDouble(-2.5);
+    EXPECT_EQ((-x).toDouble(), 2.5);
+    EXPECT_EQ(x.abs().toDouble(), 2.5);
+    EXPECT_TRUE(x.isNegative());
+    EXPECT_FALSE((-x).isNegative());
+}
+
+TEST(BigFloatArith, NaNPropagates)
+{
+    const BigFloat nan = BigFloat::nan();
+    const BigFloat x = BigFloat::one();
+    EXPECT_TRUE((nan + x).isNaN());
+    EXPECT_TRUE((x - nan).isNaN());
+    EXPECT_TRUE((nan * x).isNaN());
+    EXPECT_TRUE((x / nan).isNaN());
+}
+
+TEST(BigFloatCompare, Ordering)
+{
+    const BigFloat a = BigFloat::fromDouble(-3.0);
+    const BigFloat b = BigFloat::fromDouble(-1.0);
+    const BigFloat c = BigFloat::zero();
+    const BigFloat d = BigFloat::fromDouble(0.5);
+    const BigFloat e = BigFloat::fromDouble(4.0);
+    EXPECT_TRUE(a < b && b < c && c < d && d < e);
+    EXPECT_TRUE(e > a);
+    EXPECT_TRUE(a <= a && a >= a && a == a);
+    EXPECT_TRUE(a != b);
+    // NaN compares false with everything including itself.
+    EXPECT_FALSE(BigFloat::nan() == BigFloat::nan());
+    EXPECT_FALSE(BigFloat::nan() < a);
+    EXPECT_FALSE(a < BigFloat::nan());
+}
+
+TEST(BigFloatCompare, ZeroSigns)
+{
+    EXPECT_TRUE(BigFloat::zero() == -BigFloat::zero());
+}
+
+TEST(BigFloatTranscendental, Ln2Known)
+{
+    // ln2 = 0.693147180559945309417232121458...: rounding our 256-bit
+    // value to double must give exactly M_LN2, and the residual must
+    // be below half an ulp of it.
+    const BigFloat residual =
+        BigFloat::ln2() - BigFloat::fromDouble(M_LN2);
+    EXPECT_EQ(BigFloat::ln2().toDouble(), M_LN2);
+    EXPECT_LT(std::fabs(residual.toDouble()), 5.6e-17);
+}
+
+TEST(BigFloatTranscendental, LnExpIdentity)
+{
+    for (double x : {0.337, 1.0e-3, 42.0, 1.0, 700.0, -700.0,
+                     -2010126.824}) {
+        const BigFloat bx = BigFloat::fromDouble(x);
+        const BigFloat round_trip = BigFloat::ln(BigFloat::exp(bx));
+        const BigFloat err = (round_trip - bx).abs();
+        if (!err.isZero()) {
+            // At least ~230 correct bits relative to |x| (or to 1
+            // when x is tiny).
+            const double scale =
+                std::max(1.0, std::fabs(x));
+            EXPECT_LT(err.log2Abs(), std::log2(scale) - 230.0)
+                << "x = " << x;
+        }
+    }
+}
+
+TEST(BigFloatTranscendental, ExpMatchesPaperExample)
+{
+    // Section I: ln(2^-2,900,000) ~= -2,010,126.824.
+    const BigFloat v =
+        BigFloat::exp(BigFloat::fromDouble(-2010126.824));
+    EXPECT_NEAR(v.log2Abs(), -2900000.0, 1.0);
+}
+
+TEST(BigFloatTranscendental, LnOfPowers)
+{
+    // ln(2^k) = k ln2 to oracle precision.
+    for (int64_t k : {1, 10, -10, 1000, -100000}) {
+        const BigFloat lhs = BigFloat::ln(BigFloat::twoPow(k));
+        const BigFloat rhs = BigFloat::fromInt(k) * BigFloat::ln2();
+        const BigFloat err = (lhs - rhs).abs();
+        if (!err.isZero()) {
+            EXPECT_LT(err.log2Abs(), rhs.log2Abs() - 230.0) << k;
+        }
+    }
+}
+
+TEST(BigFloatTranscendental, LnDomain)
+{
+    EXPECT_TRUE(BigFloat::ln(BigFloat::zero()).isNaN());
+    EXPECT_TRUE(BigFloat::ln(BigFloat::fromDouble(-1.0)).isNaN());
+    EXPECT_TRUE(BigFloat::ln(BigFloat::one()).isZero());
+}
+
+TEST(BigFloatTranscendental, ExpZeroAndNaN)
+{
+    EXPECT_EQ(BigFloat::exp(BigFloat::zero()), BigFloat::one());
+    EXPECT_TRUE(BigFloat::exp(BigFloat::nan()).isNaN());
+}
+
+TEST(BigFloatTranscendental, PowIntBasics)
+{
+    EXPECT_EQ(BigFloat::powInt(BigFloat::fromDouble(2.0), 10)
+                  .toDouble(),
+              1024.0);
+    EXPECT_EQ(BigFloat::powInt(BigFloat::fromDouble(2.0), 0),
+              BigFloat::one());
+    EXPECT_EQ(BigFloat::powInt(BigFloat::fromDouble(2.0), -2)
+                  .toDouble(),
+              0.25);
+    EXPECT_EQ(BigFloat::powInt(BigFloat::fromDouble(-3.0), 3)
+                  .toDouble(),
+              -27.0);
+}
+
+TEST(BigFloatTranscendental, PowIntUnderflowBoundaryFromPaper)
+{
+    // Section II: P = 0.3^N underflows binary64 for N > 618.
+    const BigFloat p618 =
+        BigFloat::powInt(BigFloat::fromDouble(0.3), 618);
+    const BigFloat p619 =
+        BigFloat::powInt(BigFloat::fromDouble(0.3), 619);
+    EXPECT_GT(p618.log2Abs(), -1074.0);
+    EXPECT_LT(p619.log2Abs(), -1074.0);
+    EXPECT_NE(p618.toDouble(), 0.0);
+}
+
+TEST(BigFloatTranscendental, SqrtBasics)
+{
+    EXPECT_EQ(BigFloat::sqrt(BigFloat::fromDouble(4.0)).toDouble(),
+              2.0);
+    EXPECT_EQ(BigFloat::sqrt(BigFloat::fromDouble(2.25)).toDouble(),
+              1.5);
+    EXPECT_TRUE(BigFloat::sqrt(BigFloat::zero()).isZero());
+    EXPECT_TRUE(BigFloat::sqrt(BigFloat::fromDouble(-1.0)).isNaN());
+
+    const BigFloat s = BigFloat::sqrt(BigFloat::fromDouble(2.0));
+    const BigFloat err = (s * s - BigFloat::fromDouble(2.0)).abs();
+    if (!err.isZero()) {
+        EXPECT_LT(err.log2Abs(), -250.0);
+    }
+}
+
+TEST(BigFloatTranscendental, SqrtExtremeExponents)
+{
+    const BigFloat x = BigFloat::twoPow(-2000);
+    const BigFloat s = BigFloat::sqrt(x);
+    EXPECT_EQ(s.exponent(), -1000);
+    EXPECT_EQ(s * s, x);
+}
+
+TEST(BigFloatHelpers, Log2AbsAndLog10Abs)
+{
+    EXPECT_NEAR(BigFloat::fromDouble(8.0).log2Abs(), 3.0, 1e-12);
+    EXPECT_NEAR(BigFloat::fromDouble(0.125).log2Abs(), -3.0, 1e-12);
+    EXPECT_NEAR(BigFloat::fromDouble(1000.0).log10Abs(), 3.0, 1e-12);
+    EXPECT_NEAR(BigFloat::twoPow(-2900000).log2Abs(), -2900000.0,
+                1e-6);
+}
+
+TEST(BigFloatHelpers, Top64RoundTrip)
+{
+    const BigFloat x = BigFloat::fromDouble(-1234.5678);
+    const BigFloat::Top64 t = x.top64();
+    EXPECT_TRUE(t.negative);
+    EXPECT_EQ(t.exp2, 10); // 1024 <= 1234.. < 2048
+    EXPECT_EQ(BigFloat::fromSig64(t.negative, t.exp2, t.sig), x);
+    EXPECT_FALSE(t.sticky); // doubles fit in 64 mantissa bits
+}
+
+TEST(BigFloatHelpers, FromLimbsSticky)
+{
+    // A value with bits beyond the top limb reports sticky.
+    BigFloat::Mantissa m = {};
+    m[3] = 0x8000000000000000ULL;
+    m[0] = 1;
+    const BigFloat x = BigFloat::fromLimbs(false, 1, m);
+    EXPECT_TRUE(x.top64().sticky);
+    EXPECT_EQ(x.top64().sig, 0x8000000000000000ULL);
+}
+
+TEST(BigFloatHelpers, RelativeError)
+{
+    const BigFloat exact = BigFloat::fromDouble(1000.0);
+    const BigFloat approx = BigFloat::fromDouble(1000.001);
+    EXPECT_NEAR(BigFloat::relativeError(exact, approx).toDouble(),
+                1e-6, 1e-12);
+    EXPECT_TRUE(BigFloat::relativeError(exact, exact).isZero());
+    EXPECT_TRUE(
+        BigFloat::relativeError(BigFloat::zero(), BigFloat::zero())
+            .isZero());
+    EXPECT_TRUE(
+        BigFloat::relativeError(BigFloat::zero(), exact).isNaN());
+    EXPECT_TRUE(
+        BigFloat::relativeError(BigFloat::nan(), exact).isNaN());
+}
+
+/** RNE tie behaviour at the 256-bit boundary. */
+TEST(BigFloatRounding, TiesToEven)
+{
+    // x = 1 + 2^-256 is exactly halfway between 1 and the next
+    // representable value: must round to even (i.e. to 1).
+    const BigFloat x = BigFloat::one() + BigFloat::twoPow(-256);
+    EXPECT_EQ(x, BigFloat::one());
+    // x = 1 + 2^-255 + 2^-256 is halfway with odd LSB: rounds up.
+    const BigFloat y =
+        (BigFloat::one() + BigFloat::twoPow(-255)) +
+        BigFloat::twoPow(-256);
+    EXPECT_TRUE(y > BigFloat::one() + BigFloat::twoPow(-255));
+}
+
+/** Extreme-exponent arithmetic stays exact (no underflow anywhere). */
+TEST(BigFloatRange, DeepExponents)
+{
+    const BigFloat tiny = BigFloat::twoPow(-2900000);
+    const BigFloat half = tiny * BigFloat::fromDouble(0.5);
+    EXPECT_EQ(half.exponent(), -2900001);
+    EXPECT_EQ((half + half), tiny);
+    EXPECT_EQ((tiny / BigFloat::twoPow(-2900000)).toDouble(), 1.0);
+}
+
+} // namespace

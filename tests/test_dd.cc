@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for double-double arithmetic and the ScaledDD oracle scalar.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/dd.hh"
+#include "core/real_traits.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using pstat::BigFloat;
+using pstat::DD;
+using pstat::RealTraits;
+using pstat::ScaledDD;
+using pstat::twoProd;
+using pstat::twoSum;
+
+TEST(TwoSum, IsErrorFree)
+{
+    pstat::stats::Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double a = rng.uniform(-1e10, 1e10);
+        const double b = rng.uniform(-1e-6, 1e-6);
+        const DD s = twoSum(a, b);
+        // hi+lo must equal a+b exactly, verified in BigFloat.
+        const BigFloat exact =
+            BigFloat::fromDouble(a) + BigFloat::fromDouble(b);
+        const BigFloat got =
+            BigFloat::fromDouble(s.hi) + BigFloat::fromDouble(s.lo);
+        ASSERT_EQ(exact, got) << a << " + " << b;
+    }
+}
+
+TEST(TwoProd, IsErrorFree)
+{
+    pstat::stats::Rng rng(2);
+    for (int i = 0; i < 10000; ++i) {
+        const double a = rng.uniform(-1e8, 1e8);
+        const double b = rng.uniform(-1e-8, 1e8);
+        const DD p = twoProd(a, b);
+        const BigFloat exact =
+            BigFloat::fromDouble(a) * BigFloat::fromDouble(b);
+        const BigFloat got =
+            BigFloat::fromDouble(p.hi) + BigFloat::fromDouble(p.lo);
+        ASSERT_EQ(exact, got) << a << " * " << b;
+    }
+}
+
+TEST(DdArith, PrecisionAgainstOracle)
+{
+    // a chain of ops keeps ~30 decimal digits.
+    pstat::stats::Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const double a = rng.uniform(0.1, 10.0);
+        const double b = rng.uniform(0.1, 10.0);
+        const double c = rng.uniform(0.1, 10.0);
+        const DD got = (DD(a) * DD(b) + DD(c)) / DD(b);
+        const BigFloat exact = (BigFloat::fromDouble(a) *
+                                    BigFloat::fromDouble(b) +
+                                BigFloat::fromDouble(c)) /
+                               BigFloat::fromDouble(b);
+        const BigFloat err =
+            BigFloat::relativeError(exact, got.toBigFloat());
+        if (!err.isZero()) {
+            ASSERT_LT(err.log2Abs(), -98.0) << a << " " << b;
+        }
+    }
+}
+
+TEST(ScaledDd, RenormalizeKeepsValue)
+{
+    ScaledDD x(DD(1536.0), 0);
+    EXPECT_NEAR(x.log2Abs(), std::log2(1536.0), 1e-12);
+    EXPECT_NEAR(x.toBigFloat().toDouble(), 1536.0, 1e-9);
+}
+
+TEST(ScaledDd, DeepExponentMultiplication)
+{
+    // 2^-3000 x 2^-3000 = 2^-6000: far outside double, exact here.
+    ScaledDD a(DD(1.0), -3000);
+    ScaledDD b(DD(1.0), -3000);
+    const ScaledDD p = a * b;
+    EXPECT_NEAR(p.log2Abs(), -6000.0, 1e-9);
+}
+
+TEST(ScaledDd, AdditionAlignsAcrossExponents)
+{
+    const ScaledDD one(1.0);
+    ScaledDD tiny(DD(1.0), -60);
+    const ScaledDD sum = one + tiny;
+    const BigFloat exact = BigFloat::one() + BigFloat::twoPow(-60);
+    const BigFloat err =
+        BigFloat::relativeError(exact, sum.toBigFloat());
+    if (!err.isZero()) {
+        EXPECT_LT(err.log2Abs(), -100.0);
+    }
+}
+
+TEST(ScaledDd, AdditionDropsNegligible)
+{
+    const ScaledDD one(1.0);
+    ScaledDD tiny(DD(1.0), -500);
+    const ScaledDD sum = one + tiny;
+    EXPECT_NEAR(sum.log2Abs(), 0.0, 1e-12);
+}
+
+TEST(ScaledDd, SubtractionCancellation)
+{
+    const ScaledDD a(DD(1.0, 0x1.0p-80), 0);
+    const ScaledDD b(1.0);
+    const ScaledDD d = a - b;
+    EXPECT_FALSE(d.isZero());
+    EXPECT_NEAR(d.log2Abs(), -80.0, 1e-9);
+}
+
+TEST(ScaledDd, ZeroHandling)
+{
+    const ScaledDD zero;
+    const ScaledDD x(2.5);
+    EXPECT_TRUE(zero.isZero());
+    EXPECT_TRUE((zero * x).isZero());
+    EXPECT_NEAR((zero + x).log2Abs(), std::log2(2.5), 1e-12);
+    EXPECT_TRUE(zero.toBigFloat().isZero());
+}
+
+TEST(ScaledDd, LongProductChainMatchesOracle)
+{
+    // Emulates the forward recursion's repeated multiply: 10,000
+    // multiplies by 0.3 reach 2^-17,370 with ~100-bit accuracy.
+    ScaledDD acc(1.0);
+    const ScaledDD factor(0.3);
+    for (int i = 0; i < 10000; ++i)
+        acc = acc * factor;
+    const BigFloat exact =
+        BigFloat::powInt(BigFloat::fromDouble(0.3), 10000);
+    EXPECT_NEAR(acc.log2Abs(), exact.log2Abs(), 1e-6);
+    const BigFloat err =
+        BigFloat::relativeError(exact, acc.toBigFloat());
+    if (!err.isZero()) {
+        EXPECT_LT(err.log2Abs(), -85.0);
+    }
+}
+
+TEST(ScaledDd, TraitsConversions)
+{
+    using RT = RealTraits<ScaledDD>;
+    EXPECT_EQ(RT::name(), "scaled-dd (oracle)");
+    EXPECT_TRUE(RT::isZero(RT::zero()));
+    EXPECT_FALSE(RT::isZero(RT::one()));
+
+    const BigFloat deep =
+        BigFloat::twoPow(-250000) * BigFloat::fromDouble(1.7);
+    const ScaledDD x = RT::fromBigFloat(deep);
+    const BigFloat err =
+        BigFloat::relativeError(deep, RT::toBigFloat(x));
+    if (!err.isZero()) {
+        EXPECT_LT(err.log2Abs(), -100.0);
+    }
+}
+
+} // namespace

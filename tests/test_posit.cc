@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Posit format tests: decode against a literal Equation-4 reference,
+ * encode round trips, special values, ordering, and the Table I
+ * dynamic-range facts.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/format_info.hh"
+#include "core/posit.hh"
+
+namespace
+{
+
+using pstat::BigFloat;
+using pstat::Posit;
+
+/**
+ * Reference decoder that walks the bit string exactly as Equation (4)
+ * of the paper describes — deliberately naive and independent of the
+ * production implementation.
+ */
+template <int N, int ES>
+double
+referenceDecode(uint64_t pattern)
+{
+    const uint64_t mask =
+        N == 64 ? ~uint64_t{0} : (uint64_t{1} << N) - 1;
+    pattern &= mask;
+    if (pattern == 0)
+        return 0.0;
+    if (pattern == (uint64_t{1} << (N - 1)))
+        return NAN;
+
+    const bool neg = (pattern >> (N - 1)) & 1;
+    if (neg)
+        pattern = (0 - pattern) & mask;
+
+    std::vector<int> bits;
+    for (int i = N - 2; i >= 0; --i)
+        bits.push_back((pattern >> i) & 1);
+
+    size_t pos = 0;
+    const int r = bits[0];
+    int run = 0;
+    while (pos < bits.size() && bits[pos] == r) {
+        ++run;
+        ++pos;
+    }
+    if (pos < bits.size())
+        ++pos; // terminating opposite bit
+
+    const long k = (r == 0) ? -run : run - 1;
+    long e = 0;
+    for (int i = 0; i < ES; ++i) {
+        e <<= 1;
+        if (pos < bits.size())
+            e |= bits[pos++];
+    }
+    double frac = 1.0;
+    double weight = 0.5;
+    while (pos < bits.size()) {
+        frac += weight * bits[pos++];
+        weight *= 0.5;
+    }
+    const double value =
+        std::ldexp(frac, static_cast<int>(k * (1L << ES) + e));
+    return neg ? -value : value;
+}
+
+template <int N, int ES>
+void
+exhaustiveDecodeCheck()
+{
+    for (uint64_t p = 0; p < (uint64_t{1} << N); ++p) {
+        const auto posit = Posit<N, ES>::fromBits(p);
+        const double want = referenceDecode<N, ES>(p);
+        const double got = posit.toDouble();
+        if (std::isnan(want)) {
+            EXPECT_TRUE(posit.isNaR()) << "pattern " << p;
+            EXPECT_TRUE(std::isnan(got)) << "pattern " << p;
+        } else {
+            EXPECT_EQ(got, want) << "pattern " << p;
+        }
+    }
+}
+
+TEST(PositDecode, Exhaustive8bit)
+{
+    exhaustiveDecodeCheck<8, 0>();
+    exhaustiveDecodeCheck<8, 1>();
+    exhaustiveDecodeCheck<8, 2>();
+    exhaustiveDecodeCheck<8, 3>();
+}
+
+TEST(PositDecode, Exhaustive10And12bit)
+{
+    exhaustiveDecodeCheck<10, 2>();
+    exhaustiveDecodeCheck<12, 1>();
+}
+
+TEST(PositDecode, PaperWorkedExample)
+{
+    // Section III: posit(8,2) bit string 0_0001_10_1 = 1.5 * 2^-10.
+    const auto p = Posit<8, 2>::fromBits(0b00001101);
+    EXPECT_EQ(p.toDouble(), 1.5 * std::pow(2.0, -10));
+    const auto u = p.unpack();
+    EXPECT_FALSE(u.negative);
+    EXPECT_EQ(u.scale, -10);
+    EXPECT_EQ(u.sig, 0xC000000000000000ULL); // 1.1 binary
+}
+
+TEST(PositSpecials, ZeroAndNaR)
+{
+    using P = Posit<64, 12>;
+    EXPECT_TRUE(P::zero().isZero());
+    EXPECT_TRUE(P::nar().isNaR());
+    EXPECT_FALSE(P::nar().isZero());
+    EXPECT_FALSE(P::nar().isNegative());
+    EXPECT_EQ(P::zero().bits(), 0u);
+    EXPECT_EQ(P::nar().bits(), uint64_t{1} << 63);
+    // Negating zero and NaR is the identity (single zero, single NaR).
+    EXPECT_EQ((-P::zero()).bits(), P::zero().bits());
+    EXPECT_EQ((-P::nar()).bits(), P::nar().bits());
+}
+
+TEST(PositSpecials, OneMaxposMinpos)
+{
+    using P = Posit<16, 1>;
+    EXPECT_EQ(P::one().toDouble(), 1.0);
+    EXPECT_EQ(P::minpos().toDouble(),
+              std::pow(2.0, P::scale_min));
+    EXPECT_EQ(P::maxpos().toDouble(),
+              std::pow(2.0, P::scale_max));
+}
+
+TEST(PositTable1, DynamicRangeAndFractionBits)
+{
+    // Table I of the paper, checked against the closed forms.
+    EXPECT_EQ((Posit<64, 6>::scale_min), -3968);
+    EXPECT_EQ((Posit<64, 9>::scale_min), -31744);
+    EXPECT_EQ((Posit<64, 12>::scale_min), -253952);
+    EXPECT_EQ((Posit<64, 15>::scale_min), -2031616);
+    EXPECT_EQ((Posit<64, 18>::scale_min), -16252928);
+    EXPECT_EQ((Posit<64, 21>::scale_min), -130023424);
+
+    EXPECT_EQ((Posit<64, 6>::max_fraction_bits), 55);
+    EXPECT_EQ((Posit<64, 9>::max_fraction_bits), 52);
+    EXPECT_EQ((Posit<64, 12>::max_fraction_bits), 49);
+    EXPECT_EQ((Posit<64, 15>::max_fraction_bits), 46);
+    EXPECT_EQ((Posit<64, 18>::max_fraction_bits), 43);
+    EXPECT_EQ((Posit<64, 21>::max_fraction_bits), 40);
+
+    EXPECT_EQ((Posit<64, 6>::useed_log2), 64);
+    EXPECT_EQ((Posit<64, 21>::useed_log2), 2097152);
+}
+
+TEST(PositTable1, FormatInfoRows)
+{
+    const auto rows = pstat::table1Rows();
+    ASSERT_EQ(rows.size(), 7u);
+    EXPECT_EQ(rows[0].name, "binary64");
+    EXPECT_EQ(rows[0].smallest_positive_log2, -1074);
+    EXPECT_EQ(rows[0].max_fraction_bits, 52);
+    EXPECT_EQ(rows[2].name, "posit(64,9)");
+    EXPECT_EQ(rows[2].smallest_positive_log2, -31744);
+    EXPECT_EQ(rows[2].max_fraction_bits, 52);
+}
+
+TEST(PositOrdering, MatchesValueOrder)
+{
+    // Posit patterns as 2's-complement integers are value-ordered:
+    // verify on every pair of finite posit(8,1) values.
+    using P = Posit<8, 1>;
+    for (uint64_t a = 0; a < 256; ++a) {
+        for (uint64_t b = 0; b < 256; ++b) {
+            const P pa = P::fromBits(a);
+            const P pb = P::fromBits(b);
+            if (pa.isNaR() || pb.isNaR())
+                continue;
+            EXPECT_EQ(pa < pb, pa.toDouble() < pb.toDouble())
+                << a << " vs " << b;
+        }
+    }
+}
+
+TEST(PositOrdering, NaRIsSmallest)
+{
+    using P = Posit<64, 9>;
+    EXPECT_TRUE(P::nar() < P::fromDouble(-1e300));
+    EXPECT_TRUE(P::nar() < P::zero());
+    EXPECT_TRUE(P::nar() == P::nar());
+}
+
+TEST(PositRoundTrip, Posit16ThroughDouble)
+{
+    using P = Posit<16, 1>;
+    for (uint64_t p = 0; p < (1u << 16); ++p) {
+        const P x = P::fromBits(p);
+        if (x.isNaR())
+            continue;
+        EXPECT_EQ(P::fromDouble(x.toDouble()).bits(), x.bits())
+            << "pattern " << p;
+    }
+}
+
+TEST(PositRoundTrip, Posit64ThroughBigFloat)
+{
+    using P = Posit<64, 18>;
+    // Deep-exponent values survive the BigFloat round trip exactly.
+    for (int64_t scale : {0L, -100L, -5000L, -100000L, -12000000L}) {
+        const P x = P::fromBigFloat(BigFloat::twoPow(scale) *
+                                    BigFloat::fromDouble(1.337));
+        ASSERT_FALSE(x.isZero());
+        EXPECT_EQ(P::fromBigFloat(x.toBigFloat()).bits(), x.bits())
+            << scale;
+    }
+}
+
+TEST(PositConvert, FromDoubleSpecials)
+{
+    using P = Posit<64, 12>;
+    EXPECT_TRUE(P::fromDouble(0.0).isZero());
+    EXPECT_TRUE(P::fromDouble(-0.0).isZero());
+    EXPECT_TRUE(P::fromDouble(NAN).isNaR());
+    EXPECT_TRUE(P::fromDouble(HUGE_VAL).isNaR());
+    EXPECT_TRUE(P::fromDouble(-HUGE_VAL).isNaR());
+    EXPECT_EQ(P::fromDouble(1.0).bits(), P::one().bits());
+    EXPECT_EQ(P::fromDouble(-1.0).bits(), (-P::one()).bits());
+}
+
+TEST(PositConvert, ExactSmallIntegers)
+{
+    using P = Posit<32, 2>;
+    for (int v = -100; v <= 100; ++v) {
+        EXPECT_EQ(P::fromDouble(v).toDouble(),
+                  static_cast<double>(v));
+    }
+}
+
+TEST(PositSaturation, BeyondMaxposClampsToMaxpos)
+{
+    using P = Posit<8, 0>;
+    // maxpos(8,0) = 2^6 = 64; 1000 must clamp, never wrap to NaR.
+    EXPECT_EQ(P::fromDouble(1000.0).bits(), P::maxpos().bits());
+    EXPECT_EQ(P::fromDouble(-1000.0).bits(), (-P::maxpos()).bits());
+}
+
+TEST(PositSaturation, BelowMinposClampsToMinpos)
+{
+    using P = Posit<8, 0>;
+    // minpos(8,0) = 2^-6; 1e-9 clamps to minpos, never to zero.
+    EXPECT_EQ(P::fromDouble(1e-9).bits(), P::minpos().bits());
+    EXPECT_EQ(P::fromDouble(-1e-9).bits(), (-P::minpos()).bits());
+}
+
+TEST(PositSaturation, ArithmeticSaturates)
+{
+    using P = Posit<8, 0>;
+    const P big = P::maxpos();
+    EXPECT_EQ((big * big).bits(), P::maxpos().bits());
+    const P small = P::minpos();
+    EXPECT_EQ((small * small).bits(), P::minpos().bits());
+}
+
+TEST(PositNegation, SymmetricValues)
+{
+    using P = Posit<16, 2>;
+    for (uint64_t p = 0; p < (1u << 16); ++p) {
+        const P x = P::fromBits(p);
+        if (x.isNaR() || x.isZero())
+            continue;
+        EXPECT_EQ((-x).toDouble(), -x.toDouble()) << p;
+        EXPECT_EQ((-(-x)).bits(), x.bits()) << p;
+    }
+}
+
+TEST(PositNames, ConfigNames)
+{
+    EXPECT_EQ((Posit<64, 9>::name()), "posit(64,9)");
+    EXPECT_EQ((Posit<8, 2>::name()), "posit(8,2)");
+}
+
+/** Parameterized width/ES sweep: structural invariants. */
+template <typename P>
+class PositConfigTest : public ::testing::Test
+{
+};
+
+using Configs =
+    ::testing::Types<Posit<8, 0>, Posit<8, 2>, Posit<16, 1>,
+                     Posit<16, 3>, Posit<32, 2>, Posit<32, 6>,
+                     Posit<64, 6>, Posit<64, 9>, Posit<64, 12>,
+                     Posit<64, 15>, Posit<64, 18>, Posit<64, 21>>;
+TYPED_TEST_SUITE(PositConfigTest, Configs);
+
+TYPED_TEST(PositConfigTest, IdentityElements)
+{
+    using P = TypeParam;
+    const P x = P::fromDouble(0.8125);
+    EXPECT_EQ((x + P::zero()).bits(), x.bits());
+    EXPECT_EQ((x * P::one()).bits(), x.bits());
+    EXPECT_EQ((x - x).bits(), P::zero().bits());
+    EXPECT_EQ((x / x).bits(), P::one().bits());
+}
+
+TYPED_TEST(PositConfigTest, NaRPropagation)
+{
+    using P = TypeParam;
+    const P x = P::fromDouble(2.0);
+    EXPECT_TRUE((x + P::nar()).isNaR());
+    EXPECT_TRUE((P::nar() - x).isNaR());
+    EXPECT_TRUE((x * P::nar()).isNaR());
+    EXPECT_TRUE((P::nar() / x).isNaR());
+    EXPECT_TRUE((x / P::zero()).isNaR());
+}
+
+TYPED_TEST(PositConfigTest, MinposMaxposAreReciprocalBounds)
+{
+    using P = TypeParam;
+    // maxpos = 1/minpos = useed^(N-2) exactly.
+    EXPECT_EQ((P::one() / P::minpos()).bits(), P::maxpos().bits());
+    EXPECT_EQ((P::one() / P::maxpos()).bits(), P::minpos().bits());
+}
+
+TYPED_TEST(PositConfigTest, UnpackPackRoundTrip)
+{
+    using P = TypeParam;
+    for (double v : {1.0, -1.0, 0.3, 1.5e-3, 7.25, -42.0}) {
+        const P x = P::fromDouble(v);
+        if (x.isZero())
+            continue;
+        const auto u = x.unpack();
+        EXPECT_EQ(P::pack(u.negative, u.scale, u.sig, false).bits(),
+                  x.bits())
+            << v;
+    }
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the extended posit operations: correctly rounded square
+ * root and fused multiply-add. Exhaustive over small widths against
+ * the 256-bit oracle; randomized (including deep-magnitude operands
+ * and cancellation stress) for 64-bit configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bigfloat/bigfloat.hh"
+#include "core/posit.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using pstat::BigFloat;
+using pstat::Posit;
+using pstat::stats::Rng;
+
+template <int N, int ES>
+void
+exhaustiveSqrtCheck()
+{
+    using P = Posit<N, ES>;
+    for (uint64_t bits = 0; bits < (uint64_t{1} << N); ++bits) {
+        const P x = P::fromBits(bits);
+        if (x.isNaR() || x.isNegative()) {
+            EXPECT_TRUE(P::sqrt(x).isNaR()) << bits;
+            continue;
+        }
+        if (x.isZero()) {
+            EXPECT_TRUE(P::sqrt(x).isZero());
+            continue;
+        }
+        const P want =
+            P::fromBigFloat(BigFloat::sqrt(x.toBigFloat()));
+        ASSERT_EQ(P::sqrt(x).bits(), want.bits())
+            << N << "," << ES << " sqrt of pattern " << bits;
+    }
+}
+
+TEST(PositSqrt, Exhaustive16bit)
+{
+    exhaustiveSqrtCheck<16, 1>();
+    exhaustiveSqrtCheck<16, 2>();
+}
+
+TEST(PositSqrt, Exhaustive12bit)
+{
+    exhaustiveSqrtCheck<12, 0>();
+    exhaustiveSqrtCheck<12, 3>();
+}
+
+TEST(PositSqrt, PerfectSquares)
+{
+    using P = Posit<64, 12>;
+    // Values exactly representable in posit(64,12) with exactly
+    // representable roots.
+    for (double v : {4.0, 9.0, 144.0, 0.25, 1.0, 0x1.0p-40}) {
+        EXPECT_EQ(P::sqrt(P::fromDouble(v)).toDouble(),
+                  std::sqrt(v))
+            << v;
+    }
+}
+
+TEST(PositSqrt, DeepMagnitudes)
+{
+    using P = Posit<64, 18>;
+    // sqrt(2^-2,000,000) = 2^-1,000,000 exactly.
+    const P tiny = P::fromBigFloat(BigFloat::twoPow(-2000000));
+    const P root = P::sqrt(tiny);
+    EXPECT_EQ(root.toBigFloat().log2Abs(), -1000000.0);
+    // And squaring it returns the original exactly (power of two).
+    EXPECT_EQ((root * root).bits(), tiny.bits());
+}
+
+TEST(PositSqrt, RandomAgainstOracle64)
+{
+    using P = Posit<64, 9>;
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        const P x = P::fromBits(rng()).abs();
+        if (x.isNaR() || x.isZero())
+            continue;
+        const P want =
+            P::fromBigFloat(BigFloat::sqrt(x.toBigFloat()));
+        ASSERT_EQ(P::sqrt(x).bits(), want.bits()) << x.bits();
+    }
+}
+
+TEST(PositSqrt, Monotone)
+{
+    using P = Posit<64, 12>;
+    Rng rng(13);
+    for (int i = 0; i < 5000; ++i) {
+        const P a = P::fromBits(rng()).abs();
+        const P b = P::fromBits(rng()).abs();
+        if (a.isNaR() || b.isNaR())
+            continue;
+        const P lo = a < b ? a : b;
+        const P hi = a < b ? b : a;
+        EXPECT_TRUE(P::sqrt(lo) <= P::sqrt(hi));
+    }
+}
+
+template <int N, int ES>
+void
+exhaustiveFmaCheck()
+{
+    using P = Posit<N, ES>;
+    for (uint64_t a = 0; a < (uint64_t{1} << N); ++a) {
+        for (uint64_t b = 0; b < (uint64_t{1} << N); ++b) {
+            for (uint64_t c = 0; c < (uint64_t{1} << N); ++c) {
+                const P pa = P::fromBits(a);
+                const P pb = P::fromBits(b);
+                const P pc = P::fromBits(c);
+                if (pa.isNaR() || pb.isNaR() || pc.isNaR())
+                    continue;
+                const P want = P::fromBigFloat(
+                    pa.toBigFloat() * pb.toBigFloat() +
+                    pc.toBigFloat());
+                ASSERT_EQ(P::fma(pa, pb, pc).bits(), want.bits())
+                    << a << " " << b << " " << c;
+            }
+        }
+    }
+}
+
+TEST(PositFma, Exhaustive6bit)
+{
+    exhaustiveFmaCheck<6, 1>();
+    exhaustiveFmaCheck<6, 2>();
+}
+
+TEST(PositFma, Exhaustive5bit)
+{
+    exhaustiveFmaCheck<5, 0>();
+}
+
+TEST(PositFma, RandomAgainstOracle64)
+{
+    using P = Posit<64, 12>;
+    Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+        P a = P::fromBits(rng());
+        P b = P::fromBits(rng());
+        P c = P::fromBits(rng());
+        if (a.isNaR() || b.isNaR() || c.isNaR())
+            continue;
+        const P want = P::fromBigFloat(
+            a.toBigFloat() * b.toBigFloat() + c.toBigFloat());
+        ASSERT_EQ(P::fma(a, b, c).bits(), want.bits())
+            << a.bits() << " " << b.bits() << " " << c.bits();
+    }
+}
+
+TEST(PositFma, CancellationStress)
+{
+    // c ~ -a*b: forces the deep-cancellation path where the sticky
+    // product bits decide the result.
+    using P = Posit<64, 9>;
+    Rng rng(19);
+    for (int i = 0; i < 5000; ++i) {
+        const P a = P::fromDouble(rng.uniform(0.5, 2.0));
+        const P b = P::fromDouble(rng.uniform(0.5, 2.0));
+        const P c = -(a * b); // rounded product, off by <= 1/2 ulp
+        const P want = P::fromBigFloat(
+            a.toBigFloat() * b.toBigFloat() + c.toBigFloat());
+        ASSERT_EQ(P::fma(a, b, c).bits(), want.bits())
+            << a.bits() << " " << b.bits();
+    }
+}
+
+TEST(PositFma, SingleRoundingBeatsTwo)
+{
+    // There must exist inputs where fma differs from a*b+c (that is
+    // the point of fusing). Uncorrelated random posits almost never
+    // interact (magnitudes thousands of orders apart), so draw c at
+    // a magnitude within the product's significance window.
+    using P = Posit<64, 18>;
+    Rng rng(23);
+    int differs = 0;
+    int checked = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const P a = P::fromDouble(rng.uniform(0.5, 2.0));
+        const P b = P::fromDouble(rng.uniform(0.5, 2.0));
+        const P c = P::fromDouble(
+            rng.uniform(0.5, 2.0) *
+            std::pow(2.0, -static_cast<double>(rng.below(60))));
+        const P fused = P::fma(a, b, c);
+        const P split = a * b + c;
+        const P want = P::fromBigFloat(
+            a.toBigFloat() * b.toBigFloat() + c.toBigFloat());
+        ASSERT_EQ(fused.bits(), want.bits());
+        differs += fused.bits() != split.bits() ? 1 : 0;
+        ++checked;
+    }
+    EXPECT_EQ(checked, 20000);
+    EXPECT_GT(differs, 100);
+}
+
+TEST(PositFma, SpecialValues)
+{
+    using P = Posit<64, 12>;
+    const P x = P::fromDouble(3.0);
+    EXPECT_TRUE(P::fma(P::nar(), x, x).isNaR());
+    EXPECT_TRUE(P::fma(x, x, P::nar()).isNaR());
+    EXPECT_EQ(P::fma(P::zero(), x, x).bits(), x.bits());
+    EXPECT_EQ(P::fma(x, P::zero(), x).bits(), x.bits());
+    EXPECT_EQ(P::fma(x, x, P::zero()).bits(), (x * x).bits());
+    // Exact cancellation: 1*x + (-x) == 0.
+    EXPECT_TRUE(P::fma(P::one(), x, -x).isZero());
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the posit bit-level utilities: field decomposition,
+ * neighbour navigation, ulp, and effective-precision queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/posit_io.hh"
+
+namespace
+{
+
+using namespace pstat;
+
+TEST(PositFieldsDecompose, PaperExample)
+{
+    // posit(8,2) 0_0001_10_1: regime 0001 (k=-3), e=2, frac=1.
+    const auto p = Posit<8, 2>::fromBits(0b00001101);
+    const PositFields f = decomposeFields(p);
+    EXPECT_FALSE(f.negative);
+    EXPECT_EQ(f.regime_bits, 4);
+    EXPECT_EQ(f.k, -3);
+    EXPECT_EQ(f.exponent_bits, 2);
+    EXPECT_EQ(f.exponent, 2u);
+    EXPECT_EQ(f.fraction_bits, 1);
+    EXPECT_EQ(f.fraction, 1u);
+    EXPECT_EQ(f.scale, -10);
+    EXPECT_EQ(formatBits(p), "0 0001 10 1");
+}
+
+TEST(PositFieldsDecompose, AgreesWithUnpackScale)
+{
+    // The field decomposition and the arithmetic decoder must agree
+    // on the scale for every finite posit(12,2).
+    using P = Posit<12, 2>;
+    for (uint64_t bits = 0; bits < (1u << 12); ++bits) {
+        const P x = P::fromBits(bits);
+        if (x.isZero() || x.isNaR())
+            continue;
+        EXPECT_EQ(decomposeFields(x).scale, x.unpack().scale)
+            << bits;
+    }
+}
+
+TEST(PositFieldsDecompose, Specials)
+{
+    using P = Posit<16, 1>;
+    EXPECT_TRUE(decomposeFields(P::zero()).is_zero);
+    EXPECT_TRUE(decomposeFields(P::nar()).is_nar);
+    const PositFields one = decomposeFields(P::one());
+    EXPECT_EQ(one.scale, 0);
+    EXPECT_EQ(one.fraction, 0u);
+}
+
+TEST(PositFieldsDecompose, ExtremesHaveNoFraction)
+{
+    using P = Posit<16, 2>;
+    const PositFields f = decomposeFields(P::minpos());
+    EXPECT_EQ(f.fraction_bits, 0);
+    EXPECT_EQ(f.exponent_bits, 0);
+    EXPECT_EQ(f.regime_bits, 15);
+    EXPECT_EQ(f.scale, P::scale_min);
+}
+
+TEST(PositNeighbours, NextUpIsStrictSuccessor)
+{
+    using P = Posit<10, 1>;
+    // Walk the full lattice: nextUp visits values in strict order.
+    P cur = P::nar(); // smallest in total order
+    cur = P::fromBits(cur.bits() + 1);
+    int steps = 1;
+    while (cur.bits() != P::maxpos().bits()) {
+        const P next = nextUp(cur);
+        EXPECT_TRUE(cur < next) << cur.bits();
+        EXPECT_EQ(nextDown(next).bits(), cur.bits());
+        cur = next;
+        ++steps;
+    }
+    EXPECT_EQ(steps, (1 << 10) - 1);
+}
+
+TEST(PositNeighbours, Saturation)
+{
+    using P = Posit<16, 1>;
+    EXPECT_EQ(nextUp(P::maxpos()).bits(), P::maxpos().bits());
+    EXPECT_TRUE(nextUp(P::nar()).isNaR());
+    // nextDown of the most negative finite value lands on NaR's
+    // neighbourhood and must stay NaR-safe.
+    const P most_negative = P::fromBits(P::nar().bits() + 1);
+    EXPECT_TRUE(nextDown(most_negative).isNaR());
+}
+
+TEST(PositUlp, GrowsTowardRangeEdges)
+{
+    using P = Posit<64, 9>;
+    // Tapered precision: ulp/value is smallest near 1 and grows as
+    // the regime lengthens.
+    const P near_one = P::fromDouble(1.5);
+    const P mid = P::fromBigFloat(BigFloat::twoPow(-2000));
+    const P deep = P::fromBigFloat(BigFloat::twoPow(-25000));
+    const double rel_one =
+        positUlp(near_one).log2Abs() -
+        near_one.toBigFloat().log2Abs();
+    const double rel_mid =
+        positUlp(mid).log2Abs() - mid.toBigFloat().log2Abs();
+    const double rel_deep =
+        positUlp(deep).log2Abs() - deep.toBigFloat().log2Abs();
+    EXPECT_LT(rel_one, rel_mid);
+    EXPECT_LT(rel_mid, rel_deep);
+    // Near 1: ~52 fraction bits; deep: almost none.
+    EXPECT_NEAR(rel_one, -52.0, 1.5);
+    EXPECT_GT(rel_deep, -16.0);
+}
+
+TEST(PositUlp, ZeroAndNaR)
+{
+    using P = Posit<16, 1>;
+    EXPECT_EQ(positUlp(P::zero()), P::minpos().toBigFloat());
+    EXPECT_TRUE(positUlp(P::nar()).isNaN());
+}
+
+TEST(EffectiveFractionBits, MatchesTableOneBound)
+{
+    // At scale 0 the encoding carries the maximum fraction bits.
+    EXPECT_EQ(effectiveFractionBits(Posit<64, 9>::one()), 52);
+    EXPECT_EQ(effectiveFractionBits(Posit<64, 12>::one()), 49);
+    EXPECT_EQ(effectiveFractionBits(Posit<64, 18>::one()), 43);
+    // Near the range floor there are none.
+    EXPECT_EQ(effectiveFractionBits(Posit<64, 9>::minpos()), 0);
+}
+
+TEST(EffectiveFractionBits, Section3WorkedExample)
+{
+    // Section III: encoding 2^-2048 needs 33 regime bits in
+    // posit(64,6) (24 fraction bits left) but only 5 regime bits in
+    // posit(64,9) (49 fraction bits left).
+    const auto p6 =
+        Posit<64, 6>::fromBigFloat(BigFloat::twoPow(-2048));
+    const auto p9 =
+        Posit<64, 9>::fromBigFloat(BigFloat::twoPow(-2048));
+    const PositFields f6 = decomposeFields(p6);
+    const PositFields f9 = decomposeFields(p9);
+    EXPECT_EQ(f6.regime_bits, 33); // 32-bit run + terminator
+    EXPECT_EQ(f6.fraction_bits, 24);
+    EXPECT_EQ(f9.regime_bits, 5); // 4-bit run + terminator
+    EXPECT_EQ(f9.fraction_bits, 49);
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Quire (exact accumulator) tests: sums of products accumulate with
+ * no rounding until the final posit conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bigfloat/bigfloat.hh"
+#include "core/quire.hh"
+#include "stats/rng.hh"
+
+namespace
+{
+
+using pstat::BigFloat;
+using pstat::Posit;
+using pstat::Quire;
+using pstat::stats::Rng;
+
+TEST(Quire, StartsZero)
+{
+    Quire<16, 1> q;
+    EXPECT_TRUE(q.isZero());
+    EXPECT_FALSE(q.isNegative());
+    EXPECT_TRUE(q.toPosit().isZero());
+}
+
+TEST(Quire, SingleValueRoundTrips)
+{
+    using P = Posit<16, 1>;
+    Quire<16, 1> q;
+    for (double v : {1.0, -2.5, 0.0625, 1.0e-4, 12345.0}) {
+        q.clear();
+        q.add(P::fromDouble(v));
+        EXPECT_EQ(q.toPosit().bits(), P::fromDouble(v).bits()) << v;
+    }
+}
+
+TEST(Quire, ExactCancellation)
+{
+    using P = Posit<32, 2>;
+    Quire<32, 2> q;
+    const P x = P::fromDouble(0.3);
+    q.add(x);
+    q.add(-x);
+    EXPECT_TRUE(q.isZero());
+}
+
+TEST(Quire, MinposSquaredIsRepresentable)
+{
+    using P = Posit<16, 1>;
+    Quire<16, 1> q;
+    q.addProduct(P::minpos(), P::minpos());
+    EXPECT_FALSE(q.isZero());
+    // minpos^2 is below minpos: the conversion saturates to minpos
+    // (posit never rounds a nonzero value to zero).
+    EXPECT_EQ(q.toPosit().bits(), P::minpos().bits());
+}
+
+TEST(Quire, DotProductExactness)
+{
+    // The classic quire win: sum_i (a_i * b_i) where intermediate
+    // rounding would lose low bits. Compare against BigFloat.
+    using P = Posit<32, 2>;
+    Rng rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        Quire<32, 2> q;
+        BigFloat exact = BigFloat::zero();
+        P rounded_sum = P::zero();
+        for (int i = 0; i < 40; ++i) {
+            P a = P::fromDouble(rng.uniform(-2.0, 2.0));
+            P b = P::fromDouble(rng.uniform(1e-6, 2.0));
+            q.addProduct(a, b);
+            exact += a.toBigFloat() * b.toBigFloat();
+            rounded_sum += a * b;
+        }
+        const P want = P::fromBigFloat(exact);
+        // The quire result equals the correctly rounded exact sum.
+        ASSERT_EQ(q.toPosit().bits(), want.bits()) << trial;
+        // (The naive rounded sum often does not — not asserted, but
+        // the quire must never be further from exact than it.)
+        (void)rounded_sum;
+    }
+}
+
+TEST(Quire, CancellationMagnitudesBeyondPositPrecision)
+{
+    // (big + tiny) - big == tiny exactly in the quire; a posit-only
+    // accumulation loses tiny entirely.
+    using P = Posit<32, 2>;
+    const P big = P::fromDouble(1.0e9);
+    const P tiny = P::fromDouble(1.0e-9);
+
+    P naive = big + tiny;
+    naive = naive - big;
+    EXPECT_TRUE(naive.isZero()); // posit(32,2) cannot hold both
+
+    Quire<32, 2> q;
+    q.add(big);
+    q.add(tiny);
+    q.add(-big);
+    EXPECT_EQ(q.toPosit().bits(), tiny.bits());
+}
+
+TEST(Quire, NaRPropagates)
+{
+    using P = Posit<16, 1>;
+    Quire<16, 1> q;
+    q.add(P::fromDouble(1.0));
+    q.add(P::nar());
+    EXPECT_TRUE(q.isNaR());
+    EXPECT_TRUE(q.toPosit().isNaR());
+}
+
+TEST(Quire, NegativeAccumulation)
+{
+    using P = Posit<16, 1>;
+    Quire<16, 1> q;
+    q.add(P::fromDouble(-3.0));
+    q.add(P::fromDouble(1.0));
+    EXPECT_TRUE(q.isNegative());
+    EXPECT_EQ(q.toPosit().toDouble(), -2.0);
+}
+
+TEST(Quire, ManyTermAccumulationMatchesOracle)
+{
+    using P = Posit<16, 2>;
+    Rng rng(37);
+    Quire<16, 2> q;
+    BigFloat exact = BigFloat::zero();
+    for (int i = 0; i < 1000; ++i) {
+        const P a = P::fromDouble(rng.uniform(-1.0, 1.0));
+        const P b = P::fromDouble(rng.uniform(-1.0, 1.0));
+        q.addProduct(a, b);
+        exact += a.toBigFloat() * b.toBigFloat();
+    }
+    EXPECT_EQ(q.toPosit().bits(), P::fromBigFloat(exact).bits());
+}
+
+TEST(Quire, WidthGrowsWithEs)
+{
+    // The reason the paper's formats can't use quires: width scales
+    // as 4*(N-2)*2^ES + guard bits.
+    EXPECT_EQ((Quire<64, 0>::num_bits), 4 * 62 + 192);
+    EXPECT_EQ((Quire<64, 4>::num_bits), 4 * 62 * 16 + 192);
+    // posit(64,18) would need a ~65-million-bit quire:
+    // 4 * 62 * 2^18 = 65,011,712 bits. static_assert forbids it.
+}
+
+} // namespace
