@@ -8,7 +8,10 @@
  *
  * Columns come from the value-scale SARS-CoV-2-style generator plus
  * per-bin filler columns so that every Figure 9 magnitude bin is
- * populated even at laptop sample counts.
+ * populated even at laptop sample counts. Formats are resolved from
+ * the FormatRegistry and every (format x column) evaluation runs
+ * batched on the EvalEngine worker pool; per-format bookkeeping is
+ * the shared engine::AccuracyTally.
  */
 
 #include <cstdio>
@@ -16,56 +19,11 @@
 
 #include "bench_util.hh"
 #include "core/accuracy.hh"
+#include "engine/eval_engine.hh"
+#include "engine/format_registry.hh"
 #include "pbd/dataset.hh"
-#include "pbd/pbd.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
-
-namespace
-{
-
-using namespace pstat;
-
-struct FormatTally
-{
-    std::string name;
-    /** Out-of-range cut-off: values below 2^range_floor underflow
-     *  (the paper's posit hardware flushes sub-minpos to zero; our
-     *  standard-compliant scalar saturates at minpos, so the event
-     *  is detected from the oracle magnitude). 0 disables. */
-    double range_floor = 0.0;
-    std::vector<std::vector<double>> bins; // log10 rel errors < 0
-    int underflows = 0;
-    int huge_errors = 0; // relative error >= 1 while in range
-    double worst_log10 = -1e9;
-};
-
-template <typename T>
-void
-tally(FormatTally &tally_out, const pbd::Column &column,
-      const BigFloat &oracle, int bin)
-{
-    const T p = pbd::pvalue<T>(column.success_probs, column.k);
-    const BigFloat got = RealTraits<T>::toBigFloat(p);
-    const bool out_of_range =
-        tally_out.range_floor < 0.0 &&
-        oracle.log2Abs() < tally_out.range_floor;
-    if (out_of_range ||
-        (RealTraits<T>::isZero(p) && !oracle.isZero())) {
-        ++tally_out.underflows;
-        return;
-    }
-    const double err = accuracy::relErrLog10(oracle, got);
-    if (err >= 0.0) { // relative error >= 1: excluded from the plot
-        ++tally_out.huge_errors;
-        tally_out.worst_log10 = std::max(tally_out.worst_log10, err);
-        return;
-    }
-    if (bin >= 0)
-        tally_out.bins[bin].push_back(err);
-}
-
-} // namespace
 
 int
 main()
@@ -74,6 +32,7 @@ main()
     stats::printBanner(
         "Figure 9: accuracy of final p-values by magnitude");
 
+    const bench::WallTimer timer;
     const auto bins = stats::figure9Bins();
     stats::Rng rng(99);
 
@@ -92,45 +51,53 @@ main()
         }
     }
 
-    std::vector<FormatTally> tallies(4);
-    tallies[0].name = "Log";
-    tallies[1].name = "posit(64,9)";
-    tallies[1].range_floor = Posit<64, 9>::scale_min;
-    tallies[2].name = "posit(64,12)";
-    tallies[2].range_floor = Posit<64, 12>::scale_min;
-    tallies[3].name = "posit(64,18)";
-    tallies[3].range_floor = Posit<64, 18>::scale_min;
-    for (auto &t : tallies)
-        t.bins.resize(bins.size());
+    // The Figure 9 format sweep, resolved at runtime.
+    const auto &registry = engine::FormatRegistry::instance();
+    struct Series
+    {
+        std::string label;
+        const engine::FormatOps *format;
+    };
+    const std::vector<Series> series = {
+        {"Log", &registry.at("log")},
+        {"posit(64,9)", &registry.at("posit64_9")},
+        {"posit(64,12)", &registry.at("posit64_12")},
+        {"posit(64,18)", &registry.at("posit64_18")},
+    };
+
+    engine::EvalEngine engine;
+    const auto oracles = engine.pvalueOracleBatch(dataset.columns);
+
+    std::vector<engine::AccuracyTally> tallies;
+    for (const auto &s : series)
+        tallies.emplace_back(s.label, s.format->rangeFloorLog2(),
+                             bins);
 
     int evaluated = 0;
-    for (const auto &column : dataset.columns) {
-        const BigFloat oracle =
-            pbd::pvalueOracle(column.success_probs, column.k)
-                .toBigFloat();
-        if (oracle.isZero())
-            continue;
-        const int bin = stats::binIndex(bins, oracle.log2Abs());
-        tally<LogDouble>(tallies[0], column, oracle, bin);
-        tally<Posit<64, 9>>(tallies[1], column, oracle, bin);
-        tally<Posit<64, 12>>(tallies[2], column, oracle, bin);
-        tally<Posit<64, 18>>(tallies[3], column, oracle, bin);
-        ++evaluated;
+    for (const auto &oracle : oracles)
+        evaluated += oracle.isZero() ? 0 : 1;
+
+    for (size_t f = 0; f < series.size(); ++f) {
+        const auto results =
+            engine.pvalueBatch(*series[f].format, dataset.columns);
+        for (size_t i = 0; i < results.size(); ++i)
+            tallies[f].add(oracles[i], results[i]);
     }
-    std::printf("columns evaluated: %d (PSTAT_SCALE to grow)\n\n",
-                evaluated);
+    std::printf("columns evaluated: %d (PSTAT_SCALE to grow), "
+                "%u eval lanes\n\n",
+                evaluated, engine.threadCount());
 
     stats::TextTable table({"format", "bin", "p25", "median", "p75",
                             "n"});
     for (const auto &t : tallies) {
         for (size_t bi = 0; bi < bins.size(); ++bi) {
-            const auto box = stats::boxStats(t.bins[bi]);
+            const auto box = stats::boxStats(t.binned()[bi]);
             if (box.count == 0) {
-                table.addRow({t.name, bins[bi].label, "-",
+                table.addRow({t.label(), bins[bi].label, "-",
                               "(absent)", "-", "0"});
                 continue;
             }
-            table.addRow({t.name, bins[bi].label,
+            table.addRow({t.label(), bins[bi].label,
                           stats::formatDouble(box.p25, 2),
                           stats::formatDouble(box.median, 2),
                           stats::formatDouble(box.p75, 2),
@@ -142,13 +109,14 @@ main()
     std::printf("\nSection VI-D bookkeeping:\n");
     for (const auto &t : tallies) {
         std::printf("  %-13s underflows: %3d   rel-err>=1 cases: %3d",
-                    t.name.c_str(), t.underflows, t.huge_errors);
-        if (t.huge_errors > 0) {
-            if (t.worst_log10 >= accuracy::invalid_log10)
+                    t.label().c_str(), t.underflows(),
+                    t.hugeErrors());
+        if (t.hugeErrors() > 0) {
+            if (t.worstLog10() >= accuracy::invalid_log10)
                 std::printf("   largest rel err: >=1e+400 (clamped)");
             else
                 std::printf("   largest rel err: 1e%+.0f",
-                            t.worst_log10);
+                            t.worstLog10());
         }
         std::printf("\n");
     }
@@ -158,5 +126,37 @@ main()
     std::printf("shape checks: posit(64,9) best near [-200,0] then "
                 "collapses; posit(64,12) widest high-accuracy span; "
                 "posit(64,18) best on the extreme left bins.\n");
+
+    const double wall_ms = timer.elapsedMs();
+    std::printf("wall time: %.0f ms\n", wall_ms);
+
+    std::vector<bench::Json> format_records;
+    for (const auto &t : tallies) {
+        std::vector<bench::Json> bin_records;
+        for (size_t bi = 0; bi < bins.size(); ++bi) {
+            const auto box = stats::boxStats(t.binned()[bi]);
+            bin_records.push_back(
+                bench::Json()
+                    .add("bin", bins[bi].label)
+                    .add("median", box.median)
+                    .add("p25", box.p25)
+                    .add("p75", box.p75)
+                    .add("n", box.count));
+        }
+        format_records.push_back(
+            bench::Json()
+                .add("format", t.label())
+                .add("underflows", t.underflows())
+                .add("huge_errors", t.hugeErrors())
+                .add("bins", bin_records));
+    }
+    bench::writeBenchJson(
+        "fig09_pvalue_accuracy",
+        bench::Json()
+            .add("bench", "fig09_pvalue_accuracy")
+            .add("wall_ms", wall_ms)
+            .add("columns_evaluated", evaluated)
+            .add("eval_lanes", static_cast<int>(engine.threadCount()))
+            .add("formats", format_records));
     return 0;
 }

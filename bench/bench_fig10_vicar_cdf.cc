@@ -6,6 +6,12 @@
  * T = 500,000 HCG magnitudes; we shorten T and raise the per-site
  * decay to hold those final magnitudes — see DESIGN.md §1).
  *
+ * Both formats are resolved from the FormatRegistry and every
+ * workload batch (oracle included) runs on the EvalEngine worker
+ * pool with the Accelerator dataflow — the n-ary LSE of Listing 3
+ * for log, the tree-reduced forward for posit — reproducing the
+ * seed's static paths bit for bit.
+ *
  * Paper headline (T = 500,000): 100% of posit(64,18) results have
  * relative error < 1e-8 versus only 2.4% of log results — about two
  * orders of magnitude better accuracy.
@@ -25,9 +31,9 @@ namespace
 
 using namespace pstat;
 
-void
-runSetting(const char *label, size_t t_len, double decay_bits,
-           double target_log2)
+bench::Json
+runSetting(engine::EvalEngine &engine, const char *label,
+           size_t t_len, double decay_bits, double target_log2)
 {
     // Workloads across the paper's H values; counts shrink with H to
     // keep software-posit runtime laptop-friendly.
@@ -41,32 +47,41 @@ runSetting(const char *label, size_t t_len, double decay_bits,
                           {64, bench::scaled(2, 1)},
                           {128, bench::scaled(1, 1)}};
 
-    std::vector<double> log_errs;
-    std::vector<double> posit_errs;
-    double mean_magnitude = 0.0;
-    int runs_total = 0;
+    std::vector<apps::VicarWorkload> workloads;
     for (const auto &plan : plans) {
         for (int r = 0; r < plan.runs; ++r) {
-            const auto w = apps::makeVicarWorkload(
-                1000 + plan.h * 10 + r, plan.h, t_len, decay_bits);
-            const BigFloat oracle = apps::vicarOracle(w);
-            mean_magnitude += oracle.log2Abs();
-            ++runs_total;
-            log_errs.push_back(accuracy::relErrLog10(
-                oracle, apps::vicarLikelihoodLog(w).value));
-            posit_errs.push_back(accuracy::relErrLog10(
-                oracle,
-                apps::vicarLikelihood<Posit<64, 18>>(w).value));
+            workloads.push_back(apps::makeVicarWorkload(
+                1000 + plan.h * 10 + r, plan.h, t_len, decay_bits));
         }
     }
-    mean_magnitude /= runs_total;
 
-    std::printf("\n--- %s: %d runs, mean likelihood 2^%.0f "
+    const auto &registry = engine::FormatRegistry::instance();
+    const auto &log_fmt = registry.at("log");
+    const auto &posit_fmt = registry.at("posit64_18");
+
+    const auto oracles = apps::vicarOracleBatch(workloads, engine);
+    const auto log_results =
+        apps::vicarLikelihoodBatch(log_fmt, workloads, engine);
+    const auto posit_results =
+        apps::vicarLikelihoodBatch(posit_fmt, workloads, engine);
+
+    engine::AccuracyTally log_tally("Log");
+    engine::AccuracyTally posit_tally("posit(64,18)");
+    double mean_magnitude = 0.0;
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        mean_magnitude += oracles[i].log2Abs();
+        log_tally.add(oracles[i], log_results[i]);
+        posit_tally.add(oracles[i], posit_results[i]);
+    }
+    mean_magnitude /= static_cast<double>(workloads.size());
+
+    std::printf("\n--- %s: %zu runs, mean likelihood 2^%.0f "
                 "(target 2^%.0f) ---\n",
-                label, runs_total, mean_magnitude, target_log2);
+                label, workloads.size(), mean_magnitude,
+                target_log2);
 
-    const stats::Cdf log_cdf(log_errs);
-    const stats::Cdf posit_cdf(posit_errs);
+    const stats::Cdf log_cdf(log_tally.errors());
+    const stats::Cdf posit_cdf(posit_tally.errors());
     stats::TextTable table({"log10 rel err <=", "Log CDF",
                             "posit(64,18) CDF"});
     for (double x : {-12.0, -11.0, -10.0, -9.0, -8.0, -7.0, -6.0,
@@ -85,6 +100,16 @@ runSetting(const char *label, size_t t_len, double decay_bits,
                 "%0.1f%% (paper at T=500k: 100%% vs 2.4%%)\n",
                 100.0 * posit_cdf.fractionBelow(-8.0),
                 100.0 * log_cdf.fractionBelow(-8.0));
+
+    return bench::Json()
+        .add("label", label)
+        .add("runs", workloads.size())
+        .add("mean_log2_magnitude", mean_magnitude)
+        .add("log_median_log10_err", log_cdf.quantile(0.5))
+        .add("posit18_median_log10_err", posit_cdf.quantile(0.5))
+        .add("log_frac_below_1e-8", log_cdf.fractionBelow(-8.0))
+        .add("posit18_frac_below_1e-8",
+             posit_cdf.fractionBelow(-8.0));
 }
 
 } // namespace
@@ -96,6 +121,7 @@ main()
     stats::printBanner(
         "Figure 10: overall accuracy of final VICAR likelihoods");
 
+    const bench::WallTimer timer;
     const int t_large = bench::envInt("PSTAT_FIG10_TLARGE", 6000);
     const int t_small = t_large / 5;
     const double decay = 2.9e6 / t_large; // hold 2^-2.9M at t_large
@@ -105,9 +131,24 @@ main()
                 "magnitudes preserved)\n",
                 t_small, t_large, decay);
 
-    runSetting("(a) T ~ 100,000 equivalent", t_small, decay,
-               -580000.0);
-    runSetting("(b) T ~ 500,000 equivalent", t_large, decay,
-               -2900000.0);
+    engine::EvalEngine engine;
+    std::vector<bench::Json> settings;
+    settings.push_back(runSetting(engine,
+                                  "(a) T ~ 100,000 equivalent",
+                                  t_small, decay, -580000.0));
+    settings.push_back(runSetting(engine,
+                                  "(b) T ~ 500,000 equivalent",
+                                  t_large, decay, -2900000.0));
+
+    const double wall_ms = timer.elapsedMs();
+    std::printf("wall time: %.0f ms (%u eval lanes)\n", wall_ms,
+                engine.threadCount());
+    bench::writeBenchJson(
+        "fig10_vicar_cdf",
+        bench::Json()
+            .add("bench", "fig10_vicar_cdf")
+            .add("wall_ms", wall_ms)
+            .add("eval_lanes", static_cast<int>(engine.threadCount()))
+            .add("settings", settings));
     return 0;
 }

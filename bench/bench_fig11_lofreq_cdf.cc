@@ -4,6 +4,11 @@
  * split into critical columns (p < 2^-200) and the rest, for
  * log-space and the three posit configurations.
  *
+ * The format sweep comes from the FormatRegistry; every dataset is
+ * evaluated through the batched engine-backed LoFreq entry points
+ * (one column per work item on the EvalEngine pool), which are
+ * bit-identical to the seed's serial per-column loops.
+ *
  * Paper headlines: on critical columns, 99% of posit(64,12) results
  * have relative error < 1e-10 versus ~60% for log; on non-critical
  * columns posit(64,9) is the most accurate.
@@ -29,15 +34,17 @@ struct Split
     std::vector<double> rest;
 };
 
-template <typename T>
 Split
-evaluate(const std::vector<pbd::ColumnDataset> &datasets,
-         const std::vector<std::vector<BigFloat>> &oracles)
+evaluate(const engine::FormatOps &format,
+         const std::vector<pbd::ColumnDataset> &datasets,
+         const std::vector<std::vector<BigFloat>> &oracles,
+         engine::EvalEngine &engine)
 {
     Split out;
     const BigFloat threshold = apps::lofreqThreshold();
     for (size_t d = 0; d < datasets.size(); ++d) {
-        const auto results = apps::lofreqPValues<T>(datasets[d]);
+        const auto results =
+            apps::lofreqPValues(format, datasets[d], engine);
         for (size_t i = 0; i < results.size(); ++i) {
             const BigFloat &oracle = oracles[d][i];
             if (oracle.isZero())
@@ -86,16 +93,18 @@ main()
     stats::printBanner(
         "Figure 11: overall accuracy of final LoFreq p-values");
 
+    const bench::WallTimer timer;
     const int cols = bench::scaled(160, 40);
     const auto datasets = pbd::makePaperDatasets(cols, 41);
     std::printf("datasets: 8 x %d columns (PSTAT_SCALE to grow)\n",
                 cols);
 
+    engine::EvalEngine engine;
     std::vector<std::vector<BigFloat>> oracles;
     size_t critical_count = 0;
     const BigFloat threshold = apps::lofreqThreshold();
     for (const auto &ds : datasets) {
-        oracles.push_back(apps::lofreqOracle(ds));
+        oracles.push_back(apps::lofreqOracle(ds, engine));
         for (const auto &p : oracles.back()) {
             if (p.isFinite() && !p.isZero() && p < threshold)
                 ++critical_count;
@@ -104,10 +113,15 @@ main()
     std::printf("critical columns (p < 2^-200): %zu\n",
                 critical_count);
 
-    const Split lg = evaluate<LogDouble>(datasets, oracles);
-    const Split p9 = evaluate<Posit<64, 9>>(datasets, oracles);
-    const Split p12 = evaluate<Posit<64, 12>>(datasets, oracles);
-    const Split p18 = evaluate<Posit<64, 18>>(datasets, oracles);
+    const auto &registry = engine::FormatRegistry::instance();
+    const Split lg =
+        evaluate(registry.at("log"), datasets, oracles, engine);
+    const Split p9 =
+        evaluate(registry.at("posit64_9"), datasets, oracles, engine);
+    const Split p12 = evaluate(registry.at("posit64_12"), datasets,
+                               oracles, engine);
+    const Split p18 = evaluate(registry.at("posit64_18"), datasets,
+                               oracles, engine);
 
     printCdfs("(a) critical p-values (< 2^-200)",
               {{"Log", lg.critical},
@@ -133,5 +147,23 @@ main()
                 "median 1e%.2f on non-critical columns "
                 "(paper: posit(64,9) most accurate there)\n",
                 p9_rest.quantile(0.5), p18_rest.quantile(0.5));
+
+    const double wall_ms = timer.elapsedMs();
+    std::printf("wall time: %.0f ms (%u eval lanes)\n", wall_ms,
+                engine.threadCount());
+    bench::writeBenchJson(
+        "fig11_lofreq_cdf",
+        bench::Json()
+            .add("bench", "fig11_lofreq_cdf")
+            .add("wall_ms", wall_ms)
+            .add("eval_lanes", static_cast<int>(engine.threadCount()))
+            .add("critical_columns", critical_count)
+            .add("p12_critical_frac_below_1e-10",
+                 p12_crit.fractionBelow(-10.0))
+            .add("log_critical_frac_below_1e-10",
+                 log_crit.fractionBelow(-10.0))
+            .add("p9_rest_median_log10_err", p9_rest.quantile(0.5))
+            .add("p18_rest_median_log10_err",
+                 p18_rest.quantile(0.5)));
     return 0;
 }

@@ -6,14 +6,23 @@
  * the paper's numbers for side-by-side comparison. Workload sizes
  * default to laptop scale and grow with the PSTAT_SCALE environment
  * variable (e.g. PSTAT_SCALE=8 approaches paper scale).
+ *
+ * Benches additionally emit machine-readable results: WallTimer
+ * measures wall-clock phases, Json builds a lightweight JSON object,
+ * and writeBenchJson() lands it in BENCH_<name>.json (or
+ * $PSTAT_JSON_DIR/BENCH_<name>.json) so perf/accuracy trajectories
+ * can be recorded across commits.
  */
 
 #ifndef PSTAT_BENCH_BENCH_UTIL_HH
 #define PSTAT_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace pstat::bench
 {
@@ -53,6 +62,177 @@ inline void
 note(const std::string &text)
 {
     std::printf("%s\n", text.c_str());
+}
+
+/** Wall-clock stopwatch (steady clock), running from construction. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Milliseconds elapsed since construction / last restart. */
+    double
+    elapsedMs() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double, std::milli>(now - start_)
+            .count();
+    }
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Minimal ordered JSON object builder. Values are serialized as they
+ * are added, so insertion order is preserved; non-finite numbers
+ * become null (JSON has no NaN/inf).
+ */
+class Json
+{
+  public:
+    Json &
+    add(const std::string &key, double v)
+    {
+        return addRaw(key, numberToken(v));
+    }
+
+    Json &
+    add(const std::string &key, int v)
+    {
+        return addRaw(key, std::to_string(v));
+    }
+
+    Json &
+    add(const std::string &key, size_t v)
+    {
+        return addRaw(key, std::to_string(v));
+    }
+
+    Json &
+    add(const std::string &key, bool v)
+    {
+        return addRaw(key, v ? "true" : "false");
+    }
+
+    Json &
+    add(const std::string &key, const std::string &v)
+    {
+        return addRaw(key, quote(v));
+    }
+
+    Json &
+    add(const std::string &key, const char *v)
+    {
+        return addRaw(key, quote(v));
+    }
+
+    Json &
+    add(const std::string &key, const Json &object)
+    {
+        return addRaw(key, object.str());
+    }
+
+    Json &
+    add(const std::string &key, const std::vector<double> &values)
+    {
+        std::string body = "[";
+        for (size_t i = 0; i < values.size(); ++i) {
+            if (i > 0)
+                body += ",";
+            body += numberToken(values[i]);
+        }
+        return addRaw(key, body + "]");
+    }
+
+    Json &
+    add(const std::string &key, const std::vector<Json> &objects)
+    {
+        std::string body = "[";
+        for (size_t i = 0; i < objects.size(); ++i) {
+            if (i > 0)
+                body += ",";
+            body += objects[i].str();
+        }
+        return addRaw(key, body + "]");
+    }
+
+    /** The serialized object, e.g. {"a":1,"b":"x"}. */
+    std::string
+    str() const
+    {
+        return "{" + body_ + "}";
+    }
+
+  private:
+    Json &
+    addRaw(const std::string &key, const std::string &token)
+    {
+        if (!body_.empty())
+            body_ += ",";
+        body_ += quote(key) + ":" + token;
+        return *this;
+    }
+
+    static std::string
+    numberToken(double v)
+    {
+        if (!std::isfinite(v))
+            return "null";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return buf;
+    }
+
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+                continue;
+            }
+            out += c;
+        }
+        return out + "\"";
+    }
+
+    std::string body_;
+};
+
+/**
+ * Write a bench's JSON record to BENCH_<name>.json in the current
+ * directory, or under $PSTAT_JSON_DIR when set. Never fatal: on I/O
+ * failure the record is skipped with a note.
+ */
+inline void
+writeBenchJson(const std::string &name, const Json &json)
+{
+    std::string path = "BENCH_" + name + ".json";
+    if (const char *dir = std::getenv("PSTAT_JSON_DIR"))
+        path = std::string(dir) + "/" + path;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::printf("(could not write %s)\n", path.c_str());
+        return;
+    }
+    const std::string text = json.str();
+    const bool wrote =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+        std::fputc('\n', f) != EOF;
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+        std::printf("(failed writing %s)\n", path.c_str());
+        return;
+    }
+    std::printf("wrote %s\n", path.c_str());
 }
 
 } // namespace pstat::bench

@@ -16,6 +16,21 @@ lofreqOracle(const pbd::ColumnDataset &dataset)
     return out;
 }
 
+std::vector<PValueResult>
+lofreqPValues(const engine::FormatOps &format,
+              const pbd::ColumnDataset &dataset,
+              engine::EvalEngine &engine)
+{
+    return engine.pvalueBatch(format, dataset.columns);
+}
+
+std::vector<BigFloat>
+lofreqOracle(const pbd::ColumnDataset &dataset,
+             engine::EvalEngine &engine)
+{
+    return engine.pvalueOracleBatch(dataset.columns);
+}
+
 std::vector<bool>
 callVariants(const std::vector<BigFloat> &pvalues)
 {

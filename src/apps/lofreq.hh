@@ -8,6 +8,11 @@
  * evaluates every column's p-value in a chosen scalar format,
  * returning exact (BigFloat) values plus per-column validity flags;
  * the caller compares against the oracle and the 2^-200 threshold.
+ *
+ * Formats can be chosen statically (lofreqPValues<T>) or at runtime
+ * through the engine: the FormatOps overloads evaluate whole
+ * datasets on the EvalEngine worker pool, one column per work item,
+ * with results in column order (bit-identical to the scalar path).
  */
 
 #ifndef PSTAT_APPS_LOFREQ_HH
@@ -17,6 +22,7 @@
 
 #include "bigfloat/bigfloat.hh"
 #include "core/real_traits.hh"
+#include "engine/eval_engine.hh"
 #include "pbd/dataset.hh"
 #include "pbd/pbd.hh"
 
@@ -30,13 +36,11 @@ lofreqThreshold()
     return BigFloat::twoPow(-200);
 }
 
-/** One column's p-value evaluation. */
-struct PValueResult
-{
-    BigFloat value;
-    bool invalid = false;   //!< NaR / NaN
-    bool underflow = false; //!< computed exactly 0
-};
+/**
+ * One column's p-value evaluation (value is exact; invalid flags
+ * NaR/NaN, underflow flags a computed zero).
+ */
+using PValueResult = engine::EvalResult;
 
 /** Evaluate every column of a dataset in scalar format T. */
 template <typename T>
@@ -56,8 +60,21 @@ lofreqPValues(const pbd::ColumnDataset &dataset)
     return out;
 }
 
+/**
+ * Evaluate every column in a runtime-selected format, batched over
+ * the engine's worker pool.
+ */
+std::vector<PValueResult>
+lofreqPValues(const engine::FormatOps &format,
+              const pbd::ColumnDataset &dataset,
+              engine::EvalEngine &engine);
+
 /** Oracle p-values for every column. */
 std::vector<BigFloat> lofreqOracle(const pbd::ColumnDataset &dataset);
+
+/** Oracle p-values for every column, batched over the engine. */
+std::vector<BigFloat> lofreqOracle(const pbd::ColumnDataset &dataset,
+                                   engine::EvalEngine &engine);
 
 /** Variant calls (p < 2^-200) from exact p-values. */
 std::vector<bool> callVariants(const std::vector<BigFloat> &pvalues);

@@ -38,4 +38,43 @@ vicarOracle(const VicarWorkload &workload)
         .likelihood.toBigFloat();
 }
 
+namespace
+{
+
+std::vector<engine::ForwardJob>
+toJobs(std::span<const VicarWorkload> workloads)
+{
+    std::vector<engine::ForwardJob> jobs;
+    jobs.reserve(workloads.size());
+    for (const auto &w : workloads)
+        jobs.push_back({&w.model, w.obs});
+    return jobs;
+}
+
+} // namespace
+
+VicarResult
+vicarLikelihood(const engine::FormatOps &format,
+                const VicarWorkload &workload,
+                engine::Dataflow dataflow)
+{
+    return format.hmmForward(workload.model, workload.obs, dataflow);
+}
+
+std::vector<VicarResult>
+vicarLikelihoodBatch(const engine::FormatOps &format,
+                     std::span<const VicarWorkload> workloads,
+                     engine::EvalEngine &engine,
+                     engine::Dataflow dataflow)
+{
+    return engine.forwardBatch(format, toJobs(workloads), dataflow);
+}
+
+std::vector<BigFloat>
+vicarOracleBatch(std::span<const VicarWorkload> workloads,
+                 engine::EvalEngine &engine)
+{
+    return engine.forwardOracleBatch(toJobs(workloads));
+}
+
 } // namespace pstat::apps

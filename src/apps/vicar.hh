@@ -15,11 +15,13 @@
 #define PSTAT_APPS_VICAR_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bigfloat/bigfloat.hh"
 #include "core/real_traits.hh"
+#include "engine/eval_engine.hh"
 #include "hmm/forward.hh"
 #include "hmm/generator.hh"
 #include "hmm/model.hh"
@@ -46,13 +48,11 @@ VicarWorkload makeVicarWorkload(uint64_t seed, int num_states,
                                 size_t sequence_len,
                                 double decay_bits);
 
-/** Result of one likelihood evaluation, exact-valued for analysis. */
-struct VicarResult
-{
-    BigFloat value;        //!< exact value of the format's result
-    bool invalid = false;  //!< NaR / NaN
-    bool underflow = false; //!< result 0 (true likelihood is never 0)
-};
+/**
+ * Result of one likelihood evaluation, exact-valued for analysis
+ * (underflow means result 0; the true likelihood is never 0).
+ */
+using VicarResult = engine::EvalResult;
 
 /**
  * Likelihood in scalar format T using the accelerator dataflow
@@ -77,6 +77,29 @@ VicarResult vicarLikelihoodLog(const VicarWorkload &workload);
 
 /** Oracle likelihood (ScaledDD forward). */
 BigFloat vicarOracle(const VicarWorkload &workload);
+
+/**
+ * Likelihood in a runtime-selected format. The Accelerator dataflow
+ * reproduces the static paths exactly: tree-reduced forward<T> for
+ * linear formats, the Listing-3 n-ary LSE for the log format.
+ */
+VicarResult vicarLikelihood(const engine::FormatOps &format,
+                            const VicarWorkload &workload,
+                            engine::Dataflow dataflow =
+                                engine::Dataflow::Accelerator);
+
+/** Batched likelihoods over the engine pool, in workload order. */
+std::vector<VicarResult>
+vicarLikelihoodBatch(const engine::FormatOps &format,
+                     std::span<const VicarWorkload> workloads,
+                     engine::EvalEngine &engine,
+                     engine::Dataflow dataflow =
+                         engine::Dataflow::Accelerator);
+
+/** Batched oracle likelihoods over the engine pool. */
+std::vector<BigFloat>
+vicarOracleBatch(std::span<const VicarWorkload> workloads,
+                 engine::EvalEngine &engine);
 
 } // namespace pstat::apps
 

@@ -1,0 +1,228 @@
+#include "engine/eval_engine.hh"
+
+#include <cstdlib>
+#include <utility>
+
+#include "core/accuracy.hh"
+#include "core/real_traits.hh"
+#include "hmm/forward.hh"
+#include "pbd/pbd.hh"
+
+namespace pstat::engine
+{
+
+EvalEngine::EvalEngine(unsigned num_threads)
+{
+    if (num_threads == 0) {
+        if (const char *env = std::getenv("PSTAT_THREADS")) {
+            const long parsed = std::atol(env);
+            if (parsed > 0)
+                num_threads = static_cast<unsigned>(parsed);
+        }
+    }
+    if (num_threads == 0) {
+        num_threads = std::thread::hardware_concurrency();
+        if (num_threads == 0)
+            num_threads = 1;
+    }
+    lanes_ = num_threads;
+    workers_.reserve(num_threads - 1);
+    for (unsigned i = 1; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+EvalEngine::~EvalEngine()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+EvalEngine::workerLoop()
+{
+    uint64_t seen_epoch = 0;
+    for (;;) {
+        const std::function<void(size_t)> *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return stop_ || (job_ != nullptr &&
+                                 epoch_ != seen_epoch);
+            });
+            if (stop_)
+                return;
+            seen_epoch = epoch_;
+            job = job_;
+            ++in_flight_;
+        }
+        for (;;) {
+            size_t i;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (next_ >= total_)
+                    break;
+                i = next_++;
+            }
+            try {
+                (*job)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!first_error_)
+                    first_error_ = std::current_exception();
+                // Drain the batch so everyone can finish.
+                next_ = total_;
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+        }
+        done_cv_.notify_all();
+    }
+}
+
+void
+EvalEngine::parallelFor(size_t n,
+                        const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    // Small batches (or a 1-lane engine) skip the pool entirely.
+    if (n == 1 || lanes_ == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    runBatch(n, fn);
+}
+
+void
+EvalEngine::runBatch(size_t n, const std::function<void(size_t)> &fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &fn;
+        next_ = 0;
+        total_ = n;
+        first_error_ = nullptr;
+        ++epoch_;
+    }
+    work_cv_.notify_all();
+
+    // The calling thread is a lane too.
+    for (;;) {
+        size_t i;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (next_ >= total_)
+                break;
+            i = next_++;
+        }
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+            next_ = total_;
+        }
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return in_flight_ == 0; });
+    job_ = nullptr;
+    if (first_error_)
+        std::rethrow_exception(
+            std::exchange(first_error_, nullptr));
+}
+
+std::vector<EvalResult>
+EvalEngine::pvalueBatch(const FormatOps &format,
+                        std::span<const pbd::Column> columns)
+{
+    std::vector<EvalResult> out(columns.size());
+    parallelFor(columns.size(), [&](size_t i) {
+        out[i] = format.pbdPValue(columns[i].success_probs,
+                                  columns[i].k);
+    });
+    return out;
+}
+
+std::vector<BigFloat>
+EvalEngine::pvalueOracleBatch(std::span<const pbd::Column> columns)
+{
+    std::vector<BigFloat> out(columns.size());
+    parallelFor(columns.size(), [&](size_t i) {
+        out[i] = pbd::pvalueOracle(columns[i].success_probs,
+                                   columns[i].k)
+                     .toBigFloat();
+    });
+    return out;
+}
+
+std::vector<EvalResult>
+EvalEngine::forwardBatch(const FormatOps &format,
+                         std::span<const ForwardJob> jobs,
+                         Dataflow dataflow)
+{
+    std::vector<EvalResult> out(jobs.size());
+    parallelFor(jobs.size(), [&](size_t i) {
+        out[i] = format.hmmForward(*jobs[i].model, jobs[i].obs,
+                                   dataflow);
+    });
+    return out;
+}
+
+std::vector<BigFloat>
+EvalEngine::forwardOracleBatch(std::span<const ForwardJob> jobs)
+{
+    std::vector<BigFloat> out(jobs.size());
+    parallelFor(jobs.size(), [&](size_t i) {
+        out[i] = hmm::forwardOracle(*jobs[i].model, jobs[i].obs)
+                     .likelihood.toBigFloat();
+    });
+    return out;
+}
+
+AccuracyTally::AccuracyTally(std::string label,
+                             double range_floor_log2,
+                             std::vector<stats::ExponentBin> bins)
+    : label_(std::move(label)), range_floor_(range_floor_log2),
+      bins_(std::move(bins))
+{
+    binned_.resize(bins_.size());
+}
+
+AccuracyTally::Outcome
+AccuracyTally::add(const BigFloat &oracle, const EvalResult &result)
+{
+    if (oracle.isZero())
+        return Outcome::ZeroOracle;
+    ++samples_;
+
+    const double err = accuracy::relErrLog10(oracle, result.value);
+    errors_.push_back(err);
+
+    const bool out_of_range =
+        range_floor_ < 0.0 && oracle.log2Abs() < range_floor_;
+    if (out_of_range || result.underflow) {
+        ++underflows_;
+        return Outcome::Underflow;
+    }
+    if (err >= 0.0) {
+        ++huge_errors_;
+        worst_log10_ = std::max(worst_log10_, err);
+        return Outcome::HugeError;
+    }
+    const int bin = stats::binIndex(bins_, oracle.log2Abs());
+    if (bin >= 0)
+        binned_[bin].push_back(err);
+    return Outcome::Recorded;
+}
+
+} // namespace pstat::engine

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Batched, multi-threaded evaluation of the statistical kernels.
+ *
+ * The accuracy figures evaluate thousands of independent work items
+ * (alignment columns, HMM sequences) per format; the seed ran them
+ * one nested loop at a time. EvalEngine owns a persistent worker
+ * pool and evaluates whole batches through the type-erased FormatOps
+ * interface, writing each item's result into its own slot — so the
+ * batched output is bit-identical to the serial per-item loops, just
+ * computed on every core. AccuracyTally then folds results against
+ * oracle values serially (deterministic order) using the
+ * core/accuracy.hh measurement, replacing the per-format tally code
+ * that was copy-pasted across the benches.
+ */
+
+#ifndef PSTAT_ENGINE_EVAL_ENGINE_HH
+#define PSTAT_ENGINE_EVAL_ENGINE_HH
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "engine/format_registry.hh"
+#include "pbd/dataset.hh"
+#include "stats/summary.hh"
+
+namespace pstat::engine
+{
+
+/** One HMM forward work item (model is borrowed, not owned). */
+struct ForwardJob
+{
+    const hmm::Model *model = nullptr;
+    std::span<const int> obs;
+};
+
+/** A persistent worker pool evaluating kernel batches. */
+class EvalEngine
+{
+  public:
+    /**
+     * @param num_threads worker count; 0 picks the PSTAT_THREADS
+     *        environment override when set, else
+     *        std::thread::hardware_concurrency(). The calling thread
+     *        also participates, so 1 means no extra threads.
+     */
+    explicit EvalEngine(unsigned num_threads = 0);
+    ~EvalEngine();
+
+    EvalEngine(const EvalEngine &) = delete;
+    EvalEngine &operator=(const EvalEngine &) = delete;
+
+    /** Total evaluation lanes (workers + the calling thread). */
+    unsigned threadCount() const { return lanes_; }
+
+    /**
+     * Run fn(i) for every i in [0, n), distributed over the pool.
+     * Blocks until all items finish; exceptions from fn are rethrown
+     * on the calling thread. fn must be safe to call concurrently
+     * for distinct i.
+     */
+    void parallelFor(size_t n,
+                     const std::function<void(size_t)> &fn);
+
+    /** Listing-2 p-values of every column, in column order. */
+    std::vector<EvalResult>
+    pvalueBatch(const FormatOps &format,
+                std::span<const pbd::Column> columns);
+
+    /** Oracle (ScaledDD) p-values of every column. */
+    std::vector<BigFloat>
+    pvalueOracleBatch(std::span<const pbd::Column> columns);
+
+    /** Forward likelihood of every job, in job order. */
+    std::vector<EvalResult>
+    forwardBatch(const FormatOps &format,
+                 std::span<const ForwardJob> jobs,
+                 Dataflow dataflow = Dataflow::Accelerator);
+
+    /** Oracle (ScaledDD) forward likelihood of every job. */
+    std::vector<BigFloat>
+    forwardOracleBatch(std::span<const ForwardJob> jobs);
+
+  private:
+    void workerLoop();
+    void runBatch(size_t n, const std::function<void(size_t)> &fn);
+
+    unsigned lanes_ = 1;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(size_t)> *job_ = nullptr;
+    size_t next_ = 0;
+    size_t total_ = 0;
+    size_t in_flight_ = 0;
+    uint64_t epoch_ = 0;
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+/**
+ * Accuracy bookkeeping of one format against the oracle, shared by
+ * the Figure 9/10/11 benches (formerly three hand-rolled copies).
+ *
+ * add() measures accuracy::relErrLog10 and records it in the flat
+ * errors() series (CDF figures include every evaluated sample, with
+ * underflow/NaR mapped to the invalid sentinel). It also applies the
+ * Figure 9 box-plot policy: out-of-range and underflowed results
+ * count as underflows, relative error >= 1 counts as a huge error,
+ * and everything else lands in the magnitude bin of the oracle
+ * value. Samples with a zero oracle are skipped entirely.
+ */
+class AccuracyTally
+{
+  public:
+    /**
+     * @param label display label for tables
+     * @param range_floor_log2 out-of-range cut-off: oracle values
+     *        below 2^range_floor underflow in hardware even though
+     *        the scalar saturates (posit minpos). 0 disables.
+     * @param bins oracle-magnitude bins for the box-plot series;
+     *        empty for CDF-style use.
+     */
+    explicit AccuracyTally(std::string label,
+                           double range_floor_log2 = 0.0,
+                           std::vector<stats::ExponentBin> bins = {});
+
+    /** Classification of one sample. */
+    enum class Outcome
+    {
+        Recorded,   //!< error measured (and binned when in a bin)
+        Underflow,  //!< out of range or computed zero
+        HugeError,  //!< relative error >= 1
+        ZeroOracle  //!< skipped: oracle is exactly zero
+    };
+
+    Outcome add(const BigFloat &oracle, const EvalResult &result);
+
+    const std::string &label() const { return label_; }
+    /** Every evaluated sample's log10 relative error (CDF input). */
+    const std::vector<double> &errors() const { return errors_; }
+    /** Box-plot samples (log10 rel err < 0) per magnitude bin. */
+    const std::vector<std::vector<double>> &binned() const
+    {
+        return binned_;
+    }
+    int underflows() const { return underflows_; }
+    int hugeErrors() const { return huge_errors_; }
+    /** Largest log10 relative error among huge-error samples. */
+    double worstLog10() const { return worst_log10_; }
+    size_t samples() const { return samples_; }
+
+  private:
+    std::string label_;
+    double range_floor_;
+    std::vector<stats::ExponentBin> bins_;
+    std::vector<double> errors_;
+    std::vector<std::vector<double>> binned_;
+    int underflows_ = 0;
+    int huge_errors_ = 0;
+    double worst_log10_ = -1e9;
+    size_t samples_ = 0;
+};
+
+} // namespace pstat::engine
+
+#endif // PSTAT_ENGINE_EVAL_ENGINE_HH

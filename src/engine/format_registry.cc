@@ -1,0 +1,173 @@
+#include "engine/format_registry.hh"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/real_traits.hh"
+#include "pbd/pbd.hh"
+
+namespace pstat::engine
+{
+
+namespace
+{
+
+/** log2(minpos) for saturating formats; 0 where not applicable. */
+template <typename T>
+double
+rangeFloorOf()
+{
+    if constexpr (requires { T::scale_min; })
+        return static_cast<double>(T::scale_min);
+    else
+        return 0.0;
+}
+
+/** The one FormatOps implementation, fully typed inside. */
+template <typename T>
+class FormatOpsImpl final : public FormatOps
+{
+  public:
+    explicit FormatOpsImpl(std::string id)
+        : id_(std::move(id)), name_(RealTraits<T>::name())
+    {
+    }
+
+    const std::string &id() const override { return id_; }
+    const std::string &name() const override { return name_; }
+
+    double rangeFloorLog2() const override { return rangeFloorOf<T>(); }
+
+    BigFloat
+    fromDouble(double v) const override
+    {
+        return RealTraits<T>::toBigFloat(RealTraits<T>::fromDouble(v));
+    }
+
+    BigFloat
+    fromBigFloat(const BigFloat &v) const override
+    {
+        return RealTraits<T>::toBigFloat(
+            RealTraits<T>::fromBigFloat(v));
+    }
+
+    EvalResult
+    pbdPValue(std::span<const double> success_probs,
+              int k_threshold) const override
+    {
+        return wrap(pbd::pvalue<T>(success_probs, k_threshold));
+    }
+
+    EvalResult
+    hmmForward(const hmm::Model &model, std::span<const int> obs,
+               Dataflow dataflow) const override
+    {
+        if constexpr (std::is_same_v<T, LogDouble>) {
+            // The log accelerator PE is the n-ary LSE of Listing 3,
+            // not a pairwise tree over binary LSEs.
+            if (dataflow == Dataflow::Accelerator)
+                return wrap(
+                    hmm::forwardLogNary(model, obs).likelihood);
+        }
+        const auto reduction = dataflow == Dataflow::Accelerator
+                                   ? hmm::Reduction::Tree
+                                   : hmm::Reduction::Sequential;
+        return wrap(
+            hmm::forward<T>(model, obs, reduction).likelihood);
+    }
+
+  private:
+    static EvalResult
+    wrap(const T &v)
+    {
+        EvalResult out;
+        out.invalid = RealTraits<T>::isInvalid(v);
+        out.underflow = RealTraits<T>::isZero(v);
+        out.value = RealTraits<T>::toBigFloat(v);
+        return out;
+    }
+
+    std::string id_;
+    std::string name_;
+};
+
+} // namespace
+
+FormatRegistry::FormatRegistry()
+{
+    add(std::make_unique<FormatOpsImpl<double>>("binary64"),
+        {"double", "ieee754"});
+    add(std::make_unique<FormatOpsImpl<LogDouble>>("log"),
+        {"logdouble", "log-space"});
+    add(std::make_unique<FormatOpsImpl<Lns64>>("lns64"), {"lns"});
+    add(std::make_unique<FormatOpsImpl<Posit<64, 9>>>("posit64_9"),
+        {});
+    add(std::make_unique<FormatOpsImpl<Posit<64, 12>>>("posit64_12"),
+        {});
+    add(std::make_unique<FormatOpsImpl<Posit<64, 18>>>("posit64_18"),
+        {});
+    add(std::make_unique<FormatOpsImpl<ScaledDD>>("scaled_dd"),
+        {"scaled-dd", "oracle"});
+    add(std::make_unique<FormatOpsImpl<BigFloat>>("bigfloat256"),
+        {"bigfloat"});
+}
+
+void
+FormatRegistry::add(std::unique_ptr<FormatOps> ops,
+                    std::vector<std::string> aliases)
+{
+    const size_t slot = formats_.size();
+    index_.emplace_back(ops->id(), slot);
+    index_.emplace_back(ops->name(), slot);
+    for (auto &alias : aliases)
+        index_.emplace_back(std::move(alias), slot);
+    formats_.push_back(std::move(ops));
+}
+
+const FormatRegistry &
+FormatRegistry::instance()
+{
+    static const FormatRegistry registry;
+    return registry;
+}
+
+const FormatOps *
+FormatRegistry::find(const std::string &key) const
+{
+    for (const auto &[name, slot] : index_) {
+        if (name == key)
+            return formats_[slot].get();
+    }
+    return nullptr;
+}
+
+const FormatOps &
+FormatRegistry::at(const std::string &key) const
+{
+    const FormatOps *ops = find(key);
+    if (ops == nullptr)
+        throw std::out_of_range("unknown number format: " + key);
+    return *ops;
+}
+
+std::vector<std::string>
+FormatRegistry::ids() const
+{
+    std::vector<std::string> out;
+    out.reserve(formats_.size());
+    for (const auto &f : formats_)
+        out.push_back(f->id());
+    return out;
+}
+
+std::vector<const FormatOps *>
+FormatRegistry::all() const
+{
+    std::vector<const FormatOps *> out;
+    out.reserve(formats_.size());
+    for (const auto &f : formats_)
+        out.push_back(f.get());
+    return out;
+}
+
+} // namespace pstat::engine

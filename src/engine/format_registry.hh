@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Type-erased runtime dispatch over the RealTraits format family.
+ *
+ * Every kernel in this repo is a template over a scalar type T; the
+ * paper's experiments sweep the same kernels across binary64,
+ * log-space, LNS, three posit configurations, and the two oracles.
+ * The seed wired each sweep by hand, one template instantiation per
+ * call site. FormatOps erases the scalar type behind a small virtual
+ * interface — the kernels still run fully typed inside each
+ * implementation, so per-element cost is unchanged — and
+ * FormatRegistry lets callers select formats by name or id from
+ * configuration instead of template parameters.
+ *
+ * All results cross the type boundary as exact BigFloat values plus
+ * validity flags, which is also how every accuracy figure consumes
+ * them.
+ */
+
+#ifndef PSTAT_ENGINE_FORMAT_REGISTRY_HH
+#define PSTAT_ENGINE_FORMAT_REGISTRY_HH
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bigfloat/bigfloat.hh"
+#include "hmm/forward.hh"
+#include "hmm/model.hh"
+
+namespace pstat::engine
+{
+
+/**
+ * One scalar evaluation, exact-valued for accuracy analysis. This is
+ * the common currency of the engine: apps::PValueResult and
+ * apps::VicarResult are aliases of it.
+ */
+struct EvalResult
+{
+    BigFloat value;         //!< exact value of the format's result
+    bool invalid = false;   //!< NaR / NaN
+    bool underflow = false; //!< computed exactly 0
+};
+
+/**
+ * Which dataflow evaluates the HMM forward kernel.
+ *
+ * Software is the straightforward sequential loop (Listing 1; for the
+ * log format this is the binary LSE chain that log-space software
+ * performs). Accelerator is the paper's PE dataflow: pairwise
+ * reduction trees for linear-domain formats, and the n-ary LSE of
+ * Listing 3 / Equation (3) for the log format.
+ */
+enum class Dataflow
+{
+    Software,
+    Accelerator
+};
+
+/** Type-erased operations of one number format under study. */
+class FormatOps
+{
+  public:
+    virtual ~FormatOps() = default;
+
+    /** Stable machine id, e.g. "posit64_18". */
+    virtual const std::string &id() const = 0;
+    /** Display name as printed by RealTraits, e.g. "posit(64,18)". */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * log2 of the smallest positive representable magnitude for
+     * formats that saturate rather than underflow (posit minpos), or
+     * 0 when the notion does not apply. Used by the Figure 9
+     * bookkeeping to detect out-of-range results that the paper's
+     * hardware would flush to zero.
+     */
+    virtual double rangeFloorLog2() const = 0;
+
+    /** Exact value of the format's rounding of a double. */
+    virtual BigFloat fromDouble(double v) const = 0;
+    /** Exact value of the format's rounding of an oracle value. */
+    virtual BigFloat fromBigFloat(const BigFloat &v) const = 0;
+
+    /** Listing-2 PBD upper-tail p-value P(X >= k). */
+    virtual EvalResult pbdPValue(std::span<const double> success_probs,
+                                 int k_threshold) const = 0;
+
+    /** Listing-1/3 HMM forward likelihood. */
+    virtual EvalResult hmmForward(const hmm::Model &model,
+                                  std::span<const int> obs,
+                                  Dataflow dataflow) const = 0;
+};
+
+/**
+ * The runtime catalog of every registered format. Construction
+ * registers the whole RealTraits family; lookup accepts the stable
+ * id, the RealTraits display name, or a common alias ("log",
+ * "lns64", "oracle", ...).
+ */
+class FormatRegistry
+{
+  public:
+    /** The process-wide registry with all built-in formats. */
+    static const FormatRegistry &instance();
+
+    /** Lookup by id, display name, or alias; nullptr when absent. */
+    const FormatOps *find(const std::string &key) const;
+
+    /** Lookup that throws std::out_of_range on an unknown key. */
+    const FormatOps &at(const std::string &key) const;
+
+    /** Ids of every registered format, in registration order. */
+    std::vector<std::string> ids() const;
+
+    /** All registered formats, in registration order. */
+    std::vector<const FormatOps *> all() const;
+
+    size_t size() const { return formats_.size(); }
+
+  private:
+    FormatRegistry();
+
+    void add(std::unique_ptr<FormatOps> ops,
+             std::vector<std::string> aliases);
+
+    std::vector<std::unique_ptr<FormatOps>> formats_;
+    // key (id / name / alias) -> index into formats_
+    std::vector<std::pair<std::string, size_t>> index_;
+};
+
+} // namespace pstat::engine
+
+#endif // PSTAT_ENGINE_FORMAT_REGISTRY_HH

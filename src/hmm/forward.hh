@@ -49,10 +49,16 @@ struct ForwardOutcome
     int first_underflow_step = -1;
 };
 
-/** Pairwise tree reduction; consumes the buffer. */
+/**
+ * Pairwise tree reduction over a scratch buffer. The buffer's
+ * contents are clobbered (each level writes partial sums in place)
+ * but its extent is never changed, so callers can reuse the same
+ * buffer across calls without resizing; they only need to refill the
+ * values.
+ */
 template <typename T>
 T
-reduceTree(std::vector<T> &buf)
+reduceTree(std::span<T> buf)
 {
     if (buf.empty())
         return RealTraits<T>::zero();
@@ -69,6 +75,14 @@ reduceTree(std::vector<T> &buf)
         }
     }
     return buf[0];
+}
+
+/** Convenience overload: reduce a vector's contents as scratch. */
+template <typename T>
+T
+reduceTree(std::vector<T> &buf)
+{
+    return reduceTree(std::span<T>(buf));
 }
 
 /**
@@ -119,7 +133,6 @@ forward(const Model &model, std::span<const int> obs,
                                a[static_cast<size_t>(p) * h + q];
                 }
                 path_sum = reduceTree(terms);
-                terms.resize(h);
             }
             alpha[q] =
                 path_sum *

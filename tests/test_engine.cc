@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Engine subsystem tests: FormatRegistry completeness and lookup,
+ * type-erased round-trips through the BigFloat oracle for every
+ * registered format, bit-exact agreement of the batched
+ * multi-threaded paths with the single-threaded scalar templates,
+ * parallelFor scheduling, and AccuracyTally classification.
+ */
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/lofreq.hh"
+#include "apps/vicar.hh"
+#include "core/accuracy.hh"
+#include "engine/eval_engine.hh"
+#include "engine/format_registry.hh"
+#include "hmm/forward.hh"
+#include "pbd/pbd.hh"
+
+namespace
+{
+
+using namespace pstat;
+using namespace pstat::engine;
+
+TEST(FormatRegistry, ContainsTheWholeRealTraitsFamily)
+{
+    const auto &registry = FormatRegistry::instance();
+    const std::vector<std::string> expected = {
+        "binary64",   "log",        "lns64",      "posit64_9",
+        "posit64_12", "posit64_18", "scaled_dd",  "bigfloat256"};
+    EXPECT_EQ(registry.ids(), expected);
+    EXPECT_EQ(registry.size(), expected.size());
+}
+
+TEST(FormatRegistry, LookupByIdNameAndAlias)
+{
+    const auto &registry = FormatRegistry::instance();
+    EXPECT_EQ(registry.at("posit64_18").name(), "posit(64,18)");
+    EXPECT_EQ(registry.at("posit(64,18)").id(), "posit64_18");
+    EXPECT_EQ(registry.at("log").name(), "log(binary64)");
+    EXPECT_EQ(registry.at("oracle").id(), "scaled_dd");
+    EXPECT_EQ(registry.find("no-such-format"), nullptr);
+    EXPECT_THROW(registry.at("no-such-format"), std::out_of_range);
+}
+
+TEST(FormatRegistry, RangeFloorsMatchPositMinpos)
+{
+    const auto &registry = FormatRegistry::instance();
+    EXPECT_EQ(registry.at("posit64_9").rangeFloorLog2(),
+              static_cast<double>(Posit<64, 9>::scale_min));
+    EXPECT_EQ(registry.at("posit64_18").rangeFloorLog2(),
+              static_cast<double>(Posit<64, 18>::scale_min));
+    EXPECT_EQ(registry.at("binary64").rangeFloorLog2(), 0.0);
+    EXPECT_EQ(registry.at("log").rangeFloorLog2(), 0.0);
+}
+
+TEST(FormatRegistry, EveryFormatRoundTripsThroughBigFloat)
+{
+    // fromDouble -> toBigFloat gives the exact value the format
+    // holds; rounding that exact value back into the format
+    // (fromBigFloat) must reproduce it bit for bit.
+    const double samples[] = {1.0,   0.5,    0.125,  0.37, 3.0,
+                              1e-10, 1e-300, 0.9999, 2.5e-7};
+    for (const FormatOps *format : FormatRegistry::instance().all()) {
+        for (double v : samples) {
+            const BigFloat once = format->fromDouble(v);
+            const BigFloat twice = format->fromBigFloat(once);
+            EXPECT_TRUE(once == twice)
+                << format->id() << " failed to round-trip " << v;
+        }
+    }
+}
+
+TEST(EvalEngine, ParallelForCoversEveryIndexExactlyOnce)
+{
+    EvalEngine engine(4);
+    EXPECT_EQ(engine.threadCount(), 4u);
+    const size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    engine.parallelFor(n, [&](size_t i) { hits[i]++; });
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(EvalEngine, ParallelForPropagatesExceptions)
+{
+    EvalEngine engine(4);
+    EXPECT_THROW(
+        engine.parallelFor(100,
+                           [&](size_t i) {
+                               if (i == 57)
+                                   throw std::runtime_error("boom");
+                           }),
+        std::runtime_error);
+    // The pool must still be usable afterwards.
+    std::atomic<int> count{0};
+    engine.parallelFor(64, [&](size_t) { count++; });
+    EXPECT_EQ(count.load(), 64);
+}
+
+/** Scalar reference for one format's accelerator forward path. */
+template <typename T>
+BigFloat
+scalarForwardAccel(const apps::VicarWorkload &w)
+{
+    return RealTraits<T>::toBigFloat(
+        hmm::forward<T>(w.model, w.obs, hmm::Reduction::Tree)
+            .likelihood);
+}
+
+TEST(EvalEngine, BatchedForwardBitMatchesScalarTemplates)
+{
+    std::vector<apps::VicarWorkload> workloads;
+    for (int s = 0; s < 6; ++s)
+        workloads.push_back(
+            apps::makeVicarWorkload(500 + s, 5 + s % 3, 160, 25.0));
+
+    EvalEngine engine(4);
+    const auto &registry = FormatRegistry::instance();
+
+    const auto b64 = apps::vicarLikelihoodBatch(
+        registry.at("binary64"), workloads, engine);
+    const auto p18 = apps::vicarLikelihoodBatch(
+        registry.at("posit64_18"), workloads, engine);
+    const auto lg = apps::vicarLikelihoodBatch(registry.at("log"),
+                                               workloads, engine);
+    const auto oracle = apps::vicarOracleBatch(workloads, engine);
+
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const auto &w = workloads[i];
+        EXPECT_TRUE(b64[i].value == scalarForwardAccel<double>(w))
+            << i;
+        EXPECT_TRUE((p18[i].value ==
+                     scalarForwardAccel<Posit<64, 18>>(w)))
+            << i;
+        // The log accelerator path is Listing 3's n-ary LSE.
+        EXPECT_TRUE(lg[i].value ==
+                    apps::vicarLikelihoodLog(w).value)
+            << i;
+        EXPECT_TRUE(oracle[i] == apps::vicarOracle(w)) << i;
+    }
+}
+
+TEST(EvalEngine, SoftwareDataflowMatchesSequentialScalar)
+{
+    const auto w = apps::makeVicarWorkload(77, 6, 120, 20.0);
+    const auto &registry = FormatRegistry::instance();
+    const auto got = registry.at("posit64_12")
+                         .hmmForward(w.model, w.obs,
+                                     Dataflow::Software);
+    const BigFloat want = RealTraits<Posit<64, 12>>::toBigFloat(
+        hmm::forward<Posit<64, 12>>(w.model, w.obs,
+                                    hmm::Reduction::Sequential)
+            .likelihood);
+    EXPECT_TRUE(got.value == want);
+}
+
+TEST(EvalEngine, BatchedPValuesBitMatchScalarTemplates)
+{
+    pbd::DatasetConfig config;
+    config.num_columns = 80;
+    config.seed = 12;
+    const auto ds = pbd::makeDataset(config, "engine");
+
+    EvalEngine engine(4);
+    const auto &registry = FormatRegistry::instance();
+    const auto lg =
+        apps::lofreqPValues(registry.at("log"), ds, engine);
+    const auto p12 =
+        apps::lofreqPValues(registry.at("posit64_12"), ds, engine);
+    const auto oracle = apps::lofreqOracle(ds, engine);
+    const auto oracle_serial = apps::lofreqOracle(ds);
+
+    ASSERT_EQ(lg.size(), ds.columns.size());
+    for (size_t i = 0; i < ds.columns.size(); ++i) {
+        const auto &col = ds.columns[i];
+        const BigFloat want_log =
+            RealTraits<LogDouble>::toBigFloat(
+                pbd::pvalue<LogDouble>(col.success_probs, col.k));
+        const BigFloat want_p12 =
+            RealTraits<Posit<64, 12>>::toBigFloat(
+                pbd::pvalue<Posit<64, 12>>(col.success_probs,
+                                           col.k));
+        EXPECT_TRUE(lg[i].value == want_log) << i;
+        EXPECT_TRUE(p12[i].value == want_p12) << i;
+        EXPECT_TRUE(oracle[i] == oracle_serial[i]) << i;
+    }
+}
+
+TEST(EvalEngine, EvalResultFlagsMatchScalarPredicates)
+{
+    // A workload deep enough that binary64 underflows to zero.
+    const auto w = apps::makeVicarWorkload(2, 13, 400, 60.0);
+    const auto &registry = FormatRegistry::instance();
+    const auto b64 = registry.at("binary64")
+                         .hmmForward(w.model, w.obs,
+                                     Dataflow::Accelerator);
+    EXPECT_TRUE(b64.underflow);
+    EXPECT_FALSE(b64.invalid);
+    const auto p18 = registry.at("posit64_18")
+                         .hmmForward(w.model, w.obs,
+                                     Dataflow::Accelerator);
+    EXPECT_FALSE(p18.underflow);
+    EXPECT_FALSE(p18.invalid);
+}
+
+TEST(AccuracyTally, ClassifiesLikeTheFigure9Bookkeeping)
+{
+    const auto bins = stats::figure9Bins();
+    AccuracyTally tally("t", Posit<64, 12>::scale_min, bins);
+
+    // In-range, accurate: recorded into a bin.
+    const BigFloat oracle = BigFloat::twoPow(-300);
+    EvalResult good;
+    good.value = oracle * BigFloat::fromDouble(1.0 + 1e-12);
+    EXPECT_EQ(tally.add(oracle, good),
+              AccuracyTally::Outcome::Recorded);
+
+    // Computed zero on a nonzero oracle: underflow.
+    EvalResult zero;
+    zero.value = BigFloat::zero();
+    zero.underflow = true;
+    EXPECT_EQ(tally.add(oracle, zero),
+              AccuracyTally::Outcome::Underflow);
+
+    // Oracle magnitude below the format's range floor: underflow
+    // even though the scalar saturated instead of flushing.
+    const BigFloat deep =
+        BigFloat::twoPow(Posit<64, 12>::scale_min - 1000);
+    EvalResult saturated;
+    saturated.value = BigFloat::twoPow(Posit<64, 12>::scale_min);
+    EXPECT_EQ(tally.add(deep, saturated),
+              AccuracyTally::Outcome::Underflow);
+
+    // Relative error >= 1: huge error, excluded from bins.
+    EvalResult off;
+    off.value = oracle * BigFloat::fromDouble(5.0);
+    EXPECT_EQ(tally.add(oracle, off),
+              AccuracyTally::Outcome::HugeError);
+
+    // Zero oracle: skipped.
+    EvalResult anything;
+    anything.value = BigFloat::one();
+    EXPECT_EQ(tally.add(BigFloat::zero(), anything),
+              AccuracyTally::Outcome::ZeroOracle);
+
+    EXPECT_EQ(tally.underflows(), 2);
+    EXPECT_EQ(tally.hugeErrors(), 1);
+    EXPECT_EQ(tally.samples(), 4u);
+    EXPECT_EQ(tally.errors().size(), 4u);
+    size_t binned = 0;
+    for (const auto &bin : tally.binned())
+        binned += bin.size();
+    EXPECT_EQ(binned, 1u);
+}
+
+} // namespace
