@@ -6,11 +6,20 @@
  * T = 500,000 HCG magnitudes; we shorten T and raise the per-site
  * decay to hold those final magnitudes — see DESIGN.md §1).
  *
- * Both formats are resolved from the FormatRegistry and every
+ * The reduced-precision tier rides along: log32 is the only 32-bit
+ * format that stays in range at these magnitudes (its carrier stores
+ * ln L ~ -2e6 comfortably), while binary32/bfloat16 underflow to
+ * zero and posit(32,2) saturates at minpos. At the deepest setting
+ * even log32's result is finite-but-wrong — float ulp at |ln L| ~
+ * 2e6 is 0.25, and thousands of LSE steps accumulate it into a
+ * relative error above 1 — the sharpest illustration of the paper's
+ * range-vs-precision trade.
+ *
+ * Every format is resolved from the FormatRegistry and every
  * workload batch (oracle included) runs on the EvalEngine worker
  * pool with the Accelerator dataflow — the n-ary LSE of Listing 3
- * for log, the tree-reduced forward for posit — reproducing the
- * seed's static paths bit for bit.
+ * for the log formats, the tree-reduced forward for linear formats —
+ * reproducing the seed's static paths bit for bit.
  *
  * Paper headline (T = 500,000): 100% of posit(64,18) results have
  * relative error < 1e-8 versus only 2.4% of log results — about two
@@ -30,6 +39,26 @@ namespace
 {
 
 using namespace pstat;
+
+struct Series
+{
+    std::string label;
+    const engine::FormatOps *format;
+};
+
+std::vector<Series>
+figure10Series()
+{
+    const auto &registry = engine::FormatRegistry::instance();
+    return {
+        {"Log", &registry.at("log")},
+        {"posit(64,18)", &registry.at("posit64_18")},
+        {"log32", &registry.at("log32")},
+        {"binary32", &registry.at("binary32")},
+        {"posit(32,2)", &registry.at("posit32_2")},
+        {"bfloat16", &registry.at("bfloat16")},
+    };
+}
 
 bench::Json
 runSetting(engine::EvalEngine &engine, const char *label,
@@ -55,43 +84,53 @@ runSetting(engine::EvalEngine &engine, const char *label,
         }
     }
 
-    const auto &registry = engine::FormatRegistry::instance();
-    const auto &log_fmt = registry.at("log");
-    const auto &posit_fmt = registry.at("posit64_18");
-
+    const auto series = figure10Series();
     const auto oracles = apps::vicarOracleBatch(workloads, engine);
-    const auto log_results =
-        apps::vicarLikelihoodBatch(log_fmt, workloads, engine);
-    const auto posit_results =
-        apps::vicarLikelihoodBatch(posit_fmt, workloads, engine);
 
-    engine::AccuracyTally log_tally("Log");
-    engine::AccuracyTally posit_tally("posit(64,18)");
+    std::vector<engine::AccuracyTally> tallies;
+    for (const auto &s : series)
+        tallies.emplace_back(s.label, s.format->rangeFloorLog2());
+
     double mean_magnitude = 0.0;
-    for (size_t i = 0; i < workloads.size(); ++i) {
-        mean_magnitude += oracles[i].log2Abs();
-        log_tally.add(oracles[i], log_results[i]);
-        posit_tally.add(oracles[i], posit_results[i]);
-    }
+    for (const auto &oracle : oracles)
+        mean_magnitude += oracle.log2Abs();
     mean_magnitude /= static_cast<double>(workloads.size());
+
+    for (size_t f = 0; f < series.size(); ++f) {
+        const auto results = apps::vicarLikelihoodBatch(
+            *series[f].format, workloads, engine);
+        for (size_t i = 0; i < workloads.size(); ++i)
+            tallies[f].add(oracles[i], results[i]);
+    }
 
     std::printf("\n--- %s: %zu runs, mean likelihood 2^%.0f "
                 "(target 2^%.0f) ---\n",
                 label, workloads.size(), mean_magnitude,
                 target_log2);
 
-    const stats::Cdf log_cdf(log_tally.errors());
-    const stats::Cdf posit_cdf(posit_tally.errors());
-    stats::TextTable table({"log10 rel err <=", "Log CDF",
-                            "posit(64,18) CDF"});
+    std::vector<stats::Cdf> cdfs;
+    for (const auto &t : tallies)
+        cdfs.emplace_back(t.errors());
+
+    std::vector<std::string> header = {"log10 rel err <="};
+    for (const auto &s : series)
+        header.push_back(s.label);
+    stats::TextTable table(header);
     for (double x : {-12.0, -11.0, -10.0, -9.0, -8.0, -7.0, -6.0,
                      -5.0, -4.0}) {
-        table.addRow({stats::formatDouble(x, 0),
-                      stats::formatPercent(log_cdf.fractionBelow(x), 1),
-                      stats::formatPercent(
-                          posit_cdf.fractionBelow(x), 1)});
+        std::vector<std::string> row = {stats::formatDouble(x, 0)};
+        for (const auto &cdf : cdfs)
+            row.push_back(
+                stats::formatPercent(cdf.fractionBelow(x), 1));
+        table.addRow(row);
     }
     table.print();
+
+    const auto indexOf = [&series](const char *label) {
+        return bench::indexOfLabel(series, label);
+    };
+    const stats::Cdf &log_cdf = cdfs[indexOf("Log")];
+    const stats::Cdf &posit_cdf = cdfs[indexOf("posit(64,18)")];
     std::printf("medians: log 1e%.2f, posit(64,18) 1e%.2f -> gap "
                 "%.1f orders of magnitude\n",
                 log_cdf.quantile(0.5), posit_cdf.quantile(0.5),
@@ -100,7 +139,30 @@ runSetting(engine::EvalEngine &engine, const char *label,
                 "%0.1f%% (paper at T=500k: 100%% vs 2.4%%)\n",
                 100.0 * posit_cdf.fractionBelow(-8.0),
                 100.0 * log_cdf.fractionBelow(-8.0));
+    std::printf("reduced tier: ");
+    bool first = true;
+    for (const char *label :
+         {"log32", "binary32", "posit(32,2)", "bfloat16"}) {
+        const size_t f = indexOf(label);
+        std::printf("%s%s %d/%zu underflow/huge-err",
+                    first ? "" : ", ", series[f].label.c_str(),
+                    tallies[f].underflows() + tallies[f].hugeErrors(),
+                    tallies[f].samples());
+        first = false;
+    }
+    std::printf(" (log32 median 1e%.2f)\n",
+                cdfs[indexOf("log32")].quantile(0.5));
 
+    std::vector<bench::Json> format_records;
+    for (size_t f = 0; f < series.size(); ++f) {
+        format_records.push_back(
+            bench::Json()
+                .add("format", series[f].label)
+                .add("median_log10_err", cdfs[f].quantile(0.5))
+                .add("frac_below_1e-8", cdfs[f].fractionBelow(-8.0))
+                .add("underflows", tallies[f].underflows())
+                .add("huge_errors", tallies[f].hugeErrors()));
+    }
     return bench::Json()
         .add("label", label)
         .add("runs", workloads.size())
@@ -109,7 +171,8 @@ runSetting(engine::EvalEngine &engine, const char *label,
         .add("posit18_median_log10_err", posit_cdf.quantile(0.5))
         .add("log_frac_below_1e-8", log_cdf.fractionBelow(-8.0))
         .add("posit18_frac_below_1e-8",
-             posit_cdf.fractionBelow(-8.0));
+             posit_cdf.fractionBelow(-8.0))
+        .add("formats", format_records);
 }
 
 } // namespace

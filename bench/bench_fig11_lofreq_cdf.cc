@@ -2,7 +2,10 @@
  * @file
  * Figure 11: CDFs of the relative error of final LoFreq p-values,
  * split into critical columns (p < 2^-200) and the rest, for
- * log-space and the three posit configurations.
+ * log-space and the three posit configurations — plus the
+ * reduced-precision tier (log32, binary32, posit(32,2), bfloat16).
+ * On critical columns every linear 32-bit format underflows or
+ * saturates; log32 is the only cheap survivor, at ~7 decimal digits.
  *
  * The format sweep comes from the FormatRegistry; every dataset is
  * evaluated through the batched engine-backed LoFreq entry points
@@ -15,6 +18,8 @@
  */
 
 #include <cstdio>
+#include <initializer_list>
+#include <utility>
 #include <vector>
 
 #include "apps/lofreq.hh"
@@ -66,9 +71,10 @@ printCdfs(const char *title,
                                       std::vector<double>>> &series)
 {
     std::printf("\n--- %s ---\n", title);
-    stats::TextTable table({"log10 rel err <=", series[0].first,
-                            series[1].first, series[2].first,
-                            series[3].first});
+    std::vector<std::string> header = {"log10 rel err <="};
+    for (const auto &s : series)
+        header.push_back(s.first);
+    stats::TextTable table(header);
     std::vector<stats::Cdf> cdfs;
     for (const auto &s : series)
         cdfs.emplace_back(s.second);
@@ -114,35 +120,54 @@ main()
                 critical_count);
 
     const auto &registry = engine::FormatRegistry::instance();
-    const Split lg =
-        evaluate(registry.at("log"), datasets, oracles, engine);
-    const Split p9 =
-        evaluate(registry.at("posit64_9"), datasets, oracles, engine);
-    const Split p12 = evaluate(registry.at("posit64_12"), datasets,
-                               oracles, engine);
-    const Split p18 = evaluate(registry.at("posit64_18"), datasets,
-                               oracles, engine);
+    struct Entry
+    {
+        std::string label;
+        Split split;
+    };
+    std::vector<Entry> entries;
+    for (const auto &[label, id] :
+         std::initializer_list<std::pair<const char *, const char *>>{
+             {"Log", "log"},
+             {"posit(64,9)", "posit64_9"},
+             {"posit(64,12)", "posit64_12"},
+             {"posit(64,18)", "posit64_18"},
+             {"log32", "log32"},
+             {"binary32", "binary32"},
+             {"posit(32,2)", "posit32_2"},
+             {"bfloat16", "bfloat16"}}) {
+        entries.push_back({label, evaluate(registry.at(id), datasets,
+                                           oracles, engine)});
+    }
 
-    printCdfs("(a) critical p-values (< 2^-200)",
-              {{"Log", lg.critical},
-               {"posit(64,9)", p9.critical},
-               {"posit(64,12)", p12.critical},
-               {"posit(64,18)", p18.critical}});
-    const stats::Cdf log_crit(lg.critical);
-    const stats::Cdf p12_crit(p12.critical);
+    std::vector<std::pair<std::string, std::vector<double>>> crit;
+    std::vector<std::pair<std::string, std::vector<double>>> rest;
+    for (const auto &e : entries) {
+        crit.emplace_back(e.label, e.split.critical);
+        rest.emplace_back(e.label, e.split.rest);
+    }
+
+    const auto splitOf = [&entries](const char *label) -> const Split & {
+        return entries[bench::indexOfLabel(entries, label)].split;
+    };
+
+    printCdfs("(a) critical p-values (< 2^-200)", crit);
+    const stats::Cdf log_crit(splitOf("Log").critical);
+    const stats::Cdf p12_crit(splitOf("posit(64,12)").critical);
+    const stats::Cdf log32_crit(splitOf("log32").critical);
     std::printf("headline: rel err < 1e-10 on critical columns: "
                 "posit(64,12) %0.1f%% vs log %0.1f%% "
                 "(paper: 99%% vs 60%%)\n",
                 100.0 * p12_crit.fractionBelow(-10.0),
                 100.0 * log_crit.fractionBelow(-10.0));
+    std::printf("reduced tier: log32 is the only 32-bit format with "
+                "finite critical-column error (median 1e%.2f); "
+                "binary32/bfloat16 underflow, posit(32,2) saturates\n",
+                log32_crit.quantile(0.5));
 
-    printCdfs("(b) non-critical p-values (>= 2^-200)",
-              {{"Log", lg.rest},
-               {"posit(64,9)", p9.rest},
-               {"posit(64,12)", p12.rest},
-               {"posit(64,18)", p18.rest}});
-    const stats::Cdf p9_rest(p9.rest);
-    const stats::Cdf p18_rest(p18.rest);
+    printCdfs("(b) non-critical p-values (>= 2^-200)", rest);
+    const stats::Cdf p9_rest(splitOf("posit(64,9)").rest);
+    const stats::Cdf p18_rest(splitOf("posit(64,18)").rest);
     std::printf("headline: posit(64,9) median 1e%.2f vs posit(64,18) "
                 "median 1e%.2f on non-critical columns "
                 "(paper: posit(64,9) most accurate there)\n",
@@ -151,6 +176,19 @@ main()
     const double wall_ms = timer.elapsedMs();
     std::printf("wall time: %.0f ms (%u eval lanes)\n", wall_ms,
                 engine.threadCount());
+
+    std::vector<bench::Json> format_records;
+    for (const auto &e : entries) {
+        const stats::Cdf c(e.split.critical);
+        const stats::Cdf r(e.split.rest);
+        format_records.push_back(
+            bench::Json()
+                .add("format", e.label)
+                .add("critical_frac_below_1e-10",
+                     c.fractionBelow(-10.0))
+                .add("critical_median_log10_err", c.quantile(0.5))
+                .add("rest_median_log10_err", r.quantile(0.5)));
+    }
     bench::writeBenchJson(
         "fig11_lofreq_cdf",
         bench::Json()
@@ -164,6 +202,7 @@ main()
                  log_crit.fractionBelow(-10.0))
             .add("p9_rest_median_log10_err", p9_rest.quantile(0.5))
             .add("p18_rest_median_log10_err",
-                 p18_rest.quantile(0.5)));
+                 p18_rest.quantile(0.5))
+            .add("formats", format_records));
     return 0;
 }

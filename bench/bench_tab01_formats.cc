@@ -1,12 +1,15 @@
 /**
  * @file
  * Table I: dynamic range and precision of binary64 and the
- * posit(64, ES) family. All values are closed-form; the bench also
- * verifies the smallest-positive values by constructing them.
+ * posit(64, ES) family, plus the reduced-precision tier (binary32,
+ * posit(32,2), bfloat16) this reproduction adds below the paper's
+ * rows. All values are closed-form; the bench also verifies the
+ * smallest-positive values by constructing them.
  */
 
 #include <cstdio>
 
+#include "core/bfloat16.hh"
 #include "core/format_info.hh"
 #include "core/posit.hh"
 #include "stats/table.hh"
@@ -14,16 +17,31 @@
 namespace
 {
 
-template <int ES>
+template <int N, int ES>
 void
 verifyMinpos()
 {
-    using P = pstat::Posit<64, ES>;
+    using P = pstat::Posit<N, ES>;
     const auto u = P::minpos().unpack();
     if (u.scale != P::scale_min) {
-        std::printf("MISMATCH for ES=%d: decoded %lld vs %lld\n", ES,
-                    static_cast<long long>(u.scale),
+        std::printf("MISMATCH for posit(%d,%d): decoded %lld vs %lld\n",
+                    N, ES, static_cast<long long>(u.scale),
                     static_cast<long long>(P::scale_min));
+    }
+}
+
+void
+addRows(pstat::stats::TextTable &table,
+        const std::vector<pstat::FormatInfo> &rows)
+{
+    using namespace pstat;
+    for (const FormatInfo &row : rows) {
+        table.addRow(
+            {row.name,
+             row.useed_log2 == 0 ? "-"
+                                 : stats::formatInt(row.useed_log2),
+             stats::formatInt(row.smallest_positive_log2),
+             std::to_string(row.max_fraction_bits)});
     }
 }
 
@@ -39,26 +57,35 @@ main()
     stats::TextTable table(
         {"Format", "log2(useed)", "Smallest positive (log2)",
          "Max fraction bits"});
-    for (const FormatInfo &row : table1Rows()) {
-        table.addRow(
-            {row.name,
-             row.useed_log2 == 0 ? "-"
-                                 : stats::formatInt(row.useed_log2),
-             stats::formatInt(row.smallest_positive_log2),
-             std::to_string(row.max_fraction_bits)});
-    }
+    addRows(table, table1Rows());
+    addRows(table, reducedTierRows());
     table.print();
 
     // Construct minpos in each config and confirm the decode agrees.
-    verifyMinpos<6>();
-    verifyMinpos<9>();
-    verifyMinpos<12>();
-    verifyMinpos<15>();
-    verifyMinpos<18>();
-    verifyMinpos<21>();
+    verifyMinpos<64, 6>();
+    verifyMinpos<64, 9>();
+    verifyMinpos<64, 12>();
+    verifyMinpos<64, 15>();
+    verifyMinpos<64, 18>();
+    verifyMinpos<64, 21>();
+    verifyMinpos<32, 2>();
     std::printf("\nminpos decode check: all configurations verified\n");
+
+    // Confirm the bfloat16 flush boundary: the smallest positive
+    // survivor is exactly 2^-126 (anything below flushes to zero).
+    const auto min_normal = BFloat16::fromDouble(0x1p-126);
+    const auto flushed = BFloat16::fromDouble(0x1p-127);
+    if (min_normal.isZero() || !flushed.isZero())
+        std::printf("MISMATCH for bfloat16 flush boundary\n");
+    else
+        std::printf("bfloat16 flush boundary check: smallest "
+                    "positive is 2^-126\n");
+
     std::printf("paper reference: smallest positives 2^-1074 "
                 "(binary64), 2^-3968 .. 2^-130023424 (posit 64,6..21); "
                 "max fraction bits 52, 55..40\n");
+    std::printf("reduced tier (repro extension, not in the paper's "
+                "table): binary32 2^-149 / 23 bits, posit(32,2) "
+                "2^-120 / 27 bits, bfloat16 (FTZ) 2^-126 / 7 bits\n");
     return 0;
 }

@@ -64,6 +64,24 @@ note(const std::string &text)
     std::printf("%s\n", text.c_str());
 }
 
+/**
+ * Index of the entry whose .label equals `label`, for headline
+ * prints that must survive series reordering (positional indexing
+ * silently misattributes numbers when a sweep grows). Exits loudly
+ * when the label is missing.
+ */
+template <typename Entries>
+size_t
+indexOfLabel(const Entries &entries, const std::string &label)
+{
+    for (size_t i = 0; i < entries.size(); ++i) {
+        if (entries[i].label == label)
+            return i;
+    }
+    std::fprintf(stderr, "missing series: %s\n", label.c_str());
+    std::exit(1);
+}
+
 /** Wall-clock stopwatch (steady clock), running from construction. */
 class WallTimer
 {

@@ -19,9 +19,9 @@ lofreqOracle(const pbd::ColumnDataset &dataset)
 std::vector<PValueResult>
 lofreqPValues(const engine::FormatOps &format,
               const pbd::ColumnDataset &dataset,
-              engine::EvalEngine &engine)
+              engine::EvalEngine &engine, engine::SumPolicy sum)
 {
-    return engine.pvalueBatch(format, dataset.columns);
+    return engine.pvalueBatch(format, dataset.columns, sum);
 }
 
 std::vector<BigFloat>

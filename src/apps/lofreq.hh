@@ -62,12 +62,15 @@ lofreqPValues(const pbd::ColumnDataset &dataset)
 
 /**
  * Evaluate every column in a runtime-selected format, batched over
- * the engine's worker pool.
+ * the engine's worker pool. The summation policy defaults to the
+ * process-wide knob (PSTAT_COMPENSATED), so benches pick up the
+ * compensated accumulation without per-call-site wiring.
  */
 std::vector<PValueResult>
 lofreqPValues(const engine::FormatOps &format,
               const pbd::ColumnDataset &dataset,
-              engine::EvalEngine &engine);
+              engine::EvalEngine &engine,
+              engine::SumPolicy sum = engine::defaultSumPolicy());
 
 /** Oracle p-values for every column. */
 std::vector<BigFloat> lofreqOracle(const pbd::ColumnDataset &dataset);

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * IEEE binary32 support for the reduced-precision format tier.
+ *
+ * binary64 converts to binary32 with a plain cast (the cast is a
+ * single correctly rounded operation), but converting from the
+ * 256-bit oracle must not round twice: BigFloat -> double -> float
+ * can land on a double that is exactly a binary32 tie and break the
+ * round-to-nearest-even result. packBinary32() rounds the oracle's
+ * top-64-bits-plus-sticky form directly to binary32 in one step,
+ * with correct subnormal and overflow handling.
+ */
+
+#ifndef PSTAT_CORE_BINARY32_HH
+#define PSTAT_CORE_BINARY32_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "bigfloat/bigfloat.hh"
+
+namespace pstat
+{
+
+/**
+ * Round-to-nearest-even of the top p bits of a normalized 64-bit
+ * significand (MSB set), with a sticky flag for bits below the
+ * significand's LSB. Returns the kept p-bit value, which equals 2^p
+ * when rounding carried into the next binade — the caller owns the
+ * exponent bump. This is the one authoritative RNE core shared by
+ * the binary32 and bfloat16 packers.
+ */
+inline uint64_t
+roundSigRNE(uint64_t sig, int p, bool sticky)
+{
+    uint64_t kept = sig >> (64 - p);
+    const bool guard = ((sig >> (63 - p)) & 1) != 0;
+    const bool lower =
+        (sig & ((uint64_t{1} << (63 - p)) - 1)) != 0 || sticky;
+    if (guard && (lower || (kept & 1)))
+        ++kept;
+    return kept;
+}
+
+/**
+ * Round a normalized significand to binary32 (RNE, one rounding).
+ *
+ * The input value is (-1)^negative * sig * 2^(exp2 - 63) with sig's
+ * MSB set, plus a sticky flag for any nonzero bits below sig's LSB —
+ * exactly the BigFloat::Top64 form. Handles gradual underflow
+ * (subnormals down to 2^-149) and overflow to +-infinity.
+ */
+inline float
+packBinary32(bool negative, int64_t exp2, uint64_t sig, bool sticky)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    const float zero = negative ? -0.0f : 0.0f;
+    if (exp2 >= 128)
+        return negative ? -inf : inf;
+
+    // Precision at this magnitude: 24 bits for normals, fewer as the
+    // value descends through the subnormal range.
+    int p = 24;
+    if (exp2 < -126) {
+        const int64_t lost = -126 - exp2;
+        if (lost >= 24) {
+            if (lost > 24)
+                return zero; // below half the smallest subnormal
+            // Value in [2^-150, 2^-149): ties-to-even at 2^-150.
+            const bool above_tie = (sig << 1) != 0 || sticky;
+            return above_tie ? (negative ? -0x1p-149f : 0x1p-149f)
+                             : zero;
+        }
+        p = 24 - static_cast<int>(lost);
+    }
+
+    const uint64_t kept = roundSigRNE(sig, p, sticky);
+
+    // kept * 2^(exp2 + 1 - p); a carry to 2^p lands on the next
+    // binade's power of two, which ldexp represents exactly.
+    if (exp2 == 127 && kept == (uint64_t{1} << 24))
+        return negative ? -inf : inf;
+    const double mag = std::ldexp(static_cast<double>(kept),
+                                  static_cast<int>(exp2) + 1 - p);
+    return negative ? -static_cast<float>(mag)
+                    : static_cast<float>(mag);
+}
+
+/** Correctly rounded oracle -> binary32 conversion (single RNE). */
+inline float
+binary32FromBigFloat(const BigFloat &value)
+{
+    if (value.isNaN())
+        return std::numeric_limits<float>::quiet_NaN();
+    if (value.isZero())
+        return 0.0f;
+    const BigFloat::Top64 t = value.top64();
+    return packBinary32(t.negative, t.exp2, t.sig, t.sticky);
+}
+
+} // namespace pstat
+
+#endif // PSTAT_CORE_BINARY32_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Compensated (Kahan/Neumaier) summation over any RealTraits scalar.
+ *
+ * The reduced-precision tier loses accumulation bits fast: a bfloat16
+ * or binary32 running sum over thousands of terms drops everything
+ * below the sum's 8- or 24-bit window. Neumaier's variant of Kahan
+ * summation keeps a running compensation term that recovers the bits
+ * the additions discard, making the cheap formats usable on the long
+ * HMM forward chains and p-value accumulations of the paper's
+ * workloads at roughly twice the additions.
+ *
+ * Compensation needs subtraction and magnitude comparison, which the
+ * log-domain scalars (LogDouble, LogFloat, Lns64) do not have — their
+ * LSE addition is already performed against the running maximum and
+ * does not benefit from the same trick. The Compensable concept
+ * captures this: NeumaierSum<T> is available exactly for the linear
+ * formats, and callers fall back to plain accumulation elsewhere
+ * (see hmm::forward and pbd::pvalueCompensated).
+ */
+
+#ifndef PSTAT_CORE_COMPENSATED_HH
+#define PSTAT_CORE_COMPENSATED_HH
+
+#include <concepts>
+
+#include "core/real_traits.hh"
+
+namespace pstat
+{
+
+/** Magnitude of a scalar: member abs() when present, else |v| by negation. */
+template <typename T>
+T
+absOf(const T &v)
+{
+    if constexpr (requires { v.abs(); })
+        return v.abs();
+    else
+        return v < RealTraits<T>::zero() ? RealTraits<T>::zero() - v
+                                         : v;
+}
+
+/**
+ * Scalar formats that support compensated summation: subtraction,
+ * ordering, and a magnitude, on top of the RealTraits basics.
+ */
+template <typename T>
+concept Compensable = requires(const T &a, const T &b) {
+    { a - b } -> std::convertible_to<T>;
+    { a < b } -> std::convertible_to<bool>;
+    { absOf(a) } -> std::convertible_to<T>;
+};
+
+/**
+ * Neumaier's compensated accumulator in scalar type T.
+ *
+ * add() folds one term into the running sum and accumulates the
+ * rounding error of the addition (computed exactly by the classic
+ * two-term trick, branching on which operand dominates) into a
+ * separate compensation term; value() returns sum + compensation.
+ */
+template <typename T>
+class NeumaierSum
+{
+  public:
+    /** Fold one term into the accumulator. */
+    void
+    add(const T &v)
+    {
+        const T t = sum_ + v;
+        if (absOf(sum_) < absOf(v))
+            comp_ = comp_ + ((v - t) + sum_);
+        else
+            comp_ = comp_ + ((sum_ - t) + v);
+        sum_ = t;
+    }
+
+    /** The compensated total so far. */
+    T value() const { return sum_ + comp_; }
+
+  private:
+    T sum_ = RealTraits<T>::zero();
+    T comp_ = RealTraits<T>::zero();
+};
+
+} // namespace pstat
+
+#endif // PSTAT_CORE_COMPENSATED_HH

@@ -54,6 +54,33 @@ binary64Info()
     return info;
 }
 
+/** Facts for IEEE binary32 (smallest positive = subnormal 2^-149). */
+inline FormatInfo
+binary32Info()
+{
+    FormatInfo info;
+    info.name = "binary32";
+    info.useed_log2 = 0;
+    info.smallest_positive_log2 = -149;
+    info.max_fraction_bits = 23;
+    return info;
+}
+
+/**
+ * Facts for software bfloat16 with flush-to-zero: no subnormals, so
+ * the smallest positive value is the minimum normal 2^-126.
+ */
+inline FormatInfo
+bfloat16Info()
+{
+    FormatInfo info;
+    info.name = "bfloat16";
+    info.useed_log2 = 0;
+    info.smallest_positive_log2 = -126;
+    info.max_fraction_bits = 7;
+    return info;
+}
+
 /** The rows of Table I in paper order. */
 inline std::vector<FormatInfo>
 table1Rows()
@@ -62,6 +89,22 @@ table1Rows()
     rows.push_back(binary64Info());
     for (int es : {6, 9, 12, 15, 18, 21})
         rows.push_back(positInfo(64, es));
+    return rows;
+}
+
+/**
+ * The reduced-precision tier appended below the paper's Table I:
+ * binary32, posit(32,2), and bfloat16. (The log-space formats have no
+ * closed-form row of their own — range and precision follow the
+ * carrier float of the stored logarithm.)
+ */
+inline std::vector<FormatInfo>
+reducedTierRows()
+{
+    std::vector<FormatInfo> rows;
+    rows.push_back(binary32Info());
+    rows.push_back(positInfo(32, 2));
+    rows.push_back(bfloat16Info());
     return rows;
 }
 

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Log-space binary32 arithmetic — the cheap end of the log strategy.
+ *
+ * LogFloat stores ln(x) in a binary32 and mirrors LogDouble's
+ * operation set: multiplication adds logs, addition is the binary
+ * Log-Sum-Exp of Equation (2) evaluated in float, and the n-ary LSE
+ * overload below matches the accelerator reduction of Equation (3).
+ * The dynamic range is effectively unbounded for probability work
+ * (ln values near -2e6 sit comfortably inside float's +-3.4e38), but
+ * precision is capped at binary32's 24 significand bits: the absolute
+ * error of the stored ln — and therefore the relative error of the
+ * represented value — grows linearly with |ln(x)|. This is the format
+ * that makes the accuracy-vs-cost trade of the paper's log strategy
+ * sharpest: it never underflows where linear 32-bit formats die, yet
+ * deep likelihoods keep only a few correct decimal digits.
+ *
+ * Only non-negative values are representable (log-probabilities);
+ * invalid operations produce NaN, as in LogDouble.
+ */
+
+#ifndef PSTAT_CORE_LOGSPACE32_HH
+#define PSTAT_CORE_LOGSPACE32_HH
+
+#include <cmath>
+#include <limits>
+#include <span>
+#include <string>
+
+#include "bigfloat/bigfloat.hh"
+#include "core/binary32.hh"
+
+namespace pstat
+{
+
+/**
+ * Binary LSE on raw float log values: max + log1p(exp(min - max)),
+ * all intermediates in binary32 (Equation 2 in float hardware).
+ */
+inline float
+logSumExp(float lx, float ly)
+{
+    if (std::isinf(lx) && lx < 0)
+        return ly;
+    if (std::isinf(ly) && ly < 0)
+        return lx;
+    const float m = lx > ly ? lx : ly;
+    const float other = lx > ly ? ly : lx;
+    return m + std::log1p(std::exp(other - m));
+}
+
+/**
+ * N-ary LSE over float log values (Equation 3 in float hardware),
+ * matching the accelerator's max tree / exp array / adder tree / log.
+ */
+inline float
+logSumExp(std::span<const float> lvals)
+{
+    float m = -std::numeric_limits<float>::infinity();
+    for (float v : lvals)
+        m = v > m ? v : m;
+    if (std::isinf(m) && m < 0)
+        return m;
+    float sum = 0.0f;
+    for (float v : lvals)
+        sum += std::exp(v - m);
+    return m + std::log(sum);
+}
+
+/**
+ * A non-negative real stored as its natural logarithm in binary32.
+ * Drop-in scalar for the statistical kernels: operator* adds logs,
+ * operator+ performs the binary LSE in float.
+ */
+class LogFloat
+{
+  public:
+    /** Constructs zero (log value -inf). */
+    constexpr LogFloat() = default;
+
+    /** From a linear-space value; negative input yields NaN. */
+    static LogFloat
+    fromDouble(double linear)
+    {
+        // ln computed in binary64, then rounded once to binary32 —
+        // how software converts inputs at load time with a good libm.
+        return fromLn(static_cast<float>(std::log(linear)));
+    }
+
+    /** From an already-computed natural log. */
+    static LogFloat
+    fromLn(float ln_value)
+    {
+        LogFloat out;
+        out.ln_ = ln_value;
+        return out;
+    }
+
+    static LogFloat
+    zero()
+    {
+        return fromLn(-std::numeric_limits<float>::infinity());
+    }
+    static LogFloat one() { return fromLn(0.0f); }
+
+    /** The stored natural logarithm. */
+    float lnValue() const { return ln_; }
+
+    bool isZero() const { return std::isinf(ln_) && ln_ < 0; }
+    bool isNaN() const { return std::isnan(ln_); }
+
+    /**
+     * Back to linear space in binary64 — underflows for the very
+     * values log-space exists to protect; use toBigFloat for exact
+     * comparisons.
+     */
+    double toDouble() const { return std::exp(static_cast<double>(ln_)); }
+
+    /** Exact-ish (oracle-precision) linear value: exp(ln) in BigFloat. */
+    BigFloat
+    toBigFloat() const
+    {
+        if (isZero())
+            return BigFloat::zero();
+        if (isNaN())
+            return BigFloat::nan();
+        return BigFloat::exp(
+            BigFloat::fromDouble(static_cast<double>(ln_)));
+    }
+
+    /**
+     * Convert from the oracle: ln computed at oracle precision, then
+     * rounded once to binary32 (the paper's "transform operands to
+     * log-space in MPFR" methodology at the 32-bit tier).
+     */
+    static LogFloat
+    fromBigFloat(const BigFloat &value)
+    {
+        if (value.isZero())
+            return zero();
+        if (value.isNaN() || value.isNegative())
+            return fromLn(std::numeric_limits<float>::quiet_NaN());
+        const BigFloat ln = BigFloat::ln(value);
+        if (ln.isZero())
+            return one();
+        return fromLn(binary32FromBigFloat(ln));
+    }
+
+    friend LogFloat
+    operator*(const LogFloat &a, const LogFloat &b)
+    {
+        if (a.isZero() || b.isZero())
+            return zero(); // avoid -inf + inf pitfalls
+        return fromLn(a.ln_ + b.ln_);
+    }
+
+    friend LogFloat
+    operator+(const LogFloat &a, const LogFloat &b)
+    {
+        return fromLn(logSumExp(a.ln_, b.ln_));
+    }
+
+    friend LogFloat
+    operator/(const LogFloat &a, const LogFloat &b)
+    {
+        if (a.isZero() && !b.isZero())
+            return zero();
+        return fromLn(a.ln_ - b.ln_);
+    }
+
+    LogFloat &operator*=(const LogFloat &o) { return *this = *this * o; }
+    LogFloat &operator+=(const LogFloat &o) { return *this = *this + o; }
+    LogFloat &operator/=(const LogFloat &o) { return *this = *this / o; }
+
+    friend bool
+    operator<(const LogFloat &a, const LogFloat &b)
+    {
+        return a.ln_ < b.ln_;
+    }
+    friend bool
+    operator>(const LogFloat &a, const LogFloat &b)
+    {
+        return a.ln_ > b.ln_;
+    }
+    friend bool
+    operator==(const LogFloat &a, const LogFloat &b)
+    {
+        return a.ln_ == b.ln_;
+    }
+
+    /** Display name used by RealTraits. */
+    static std::string name() { return "log(binary32)"; }
+
+  private:
+    float ln_ = -std::numeric_limits<float>::infinity();
+};
+
+} // namespace pstat
+
+#endif // PSTAT_CORE_LOGSPACE32_HH

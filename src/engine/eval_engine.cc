@@ -143,12 +143,13 @@ EvalEngine::runBatch(size_t n, const std::function<void(size_t)> &fn)
 
 std::vector<EvalResult>
 EvalEngine::pvalueBatch(const FormatOps &format,
-                        std::span<const pbd::Column> columns)
+                        std::span<const pbd::Column> columns,
+                        SumPolicy sum)
 {
     std::vector<EvalResult> out(columns.size());
     parallelFor(columns.size(), [&](size_t i) {
         out[i] = format.pbdPValue(columns[i].success_probs,
-                                  columns[i].k);
+                                  columns[i].k, sum);
     });
     return out;
 }

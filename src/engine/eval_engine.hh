@@ -34,8 +34,8 @@ namespace pstat::engine
 /** One HMM forward work item (model is borrowed, not owned). */
 struct ForwardJob
 {
-    const hmm::Model *model = nullptr;
-    std::span<const int> obs;
+    const hmm::Model *model = nullptr; //!< borrowed model (A, B, pi)
+    std::span<const int> obs;          //!< observation sequence
 };
 
 /** A persistent worker pool evaluating kernel batches. */
@@ -49,10 +49,11 @@ class EvalEngine
      *        also participates, so 1 means no extra threads.
      */
     explicit EvalEngine(unsigned num_threads = 0);
+    /** Drains the pool and joins every worker. */
     ~EvalEngine();
 
-    EvalEngine(const EvalEngine &) = delete;
-    EvalEngine &operator=(const EvalEngine &) = delete;
+    EvalEngine(const EvalEngine &) = delete;            //!< not copyable
+    EvalEngine &operator=(const EvalEngine &) = delete; //!< not copyable
 
     /** Total evaluation lanes (workers + the calling thread). */
     unsigned threadCount() const { return lanes_; }
@@ -66,10 +67,16 @@ class EvalEngine
     void parallelFor(size_t n,
                      const std::function<void(size_t)> &fn);
 
-    /** Listing-2 p-values of every column, in column order. */
+    /**
+     * Listing-2 p-values of every column, in column order, under the
+     * chosen summation policy (defaulting to the process-wide
+     * PSTAT_COMPENSATED knob, so every engine-backed caller honors
+     * it without per-call-site wiring).
+     */
     std::vector<EvalResult>
     pvalueBatch(const FormatOps &format,
-                std::span<const pbd::Column> columns);
+                std::span<const pbd::Column> columns,
+                SumPolicy sum = defaultSumPolicy());
 
     /** Oracle (ScaledDD) p-values of every column. */
     std::vector<BigFloat>
@@ -140,8 +147,10 @@ class AccuracyTally
         ZeroOracle  //!< skipped: oracle is exactly zero
     };
 
+    /** Measure and classify one sample against its oracle value. */
     Outcome add(const BigFloat &oracle, const EvalResult &result);
 
+    /** The display label given at construction. */
     const std::string &label() const { return label_; }
     /** Every evaluated sample's log10 relative error (CDF input). */
     const std::vector<double> &errors() const { return errors_; }
@@ -150,10 +159,13 @@ class AccuracyTally
     {
         return binned_;
     }
+    /** Samples that underflowed or fell below the range floor. */
     int underflows() const { return underflows_; }
+    /** Samples whose relative error reached 1 or more. */
     int hugeErrors() const { return huge_errors_; }
     /** Largest log10 relative error among huge-error samples. */
     double worstLog10() const { return worst_log10_; }
+    /** Total samples with a nonzero oracle. */
     size_t samples() const { return samples_; }
 
   private:

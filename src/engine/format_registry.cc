@@ -1,6 +1,8 @@
 #include "engine/format_registry.hh"
 
+#include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "core/real_traits.hh"
@@ -8,6 +10,21 @@
 
 namespace pstat::engine
 {
+
+SumPolicy
+defaultSumPolicy()
+{
+    static const SumPolicy policy = [] {
+        // Any non-empty value except "0" enables compensation, so
+        // PSTAT_COMPENSATED=1/true/yes all behave as users expect.
+        const char *env = std::getenv("PSTAT_COMPENSATED");
+        return env != nullptr && env[0] != '\0' &&
+                       std::string_view(env) != "0"
+                   ? SumPolicy::Compensated
+                   : SumPolicy::Plain;
+    }();
+    return policy;
+}
 
 namespace
 {
@@ -52,9 +69,12 @@ class FormatOpsImpl final : public FormatOps
     }
 
     EvalResult
-    pbdPValue(std::span<const double> success_probs,
-              int k_threshold) const override
+    pbdPValue(std::span<const double> success_probs, int k_threshold,
+              SumPolicy sum) const override
     {
+        if (sum == SumPolicy::Compensated)
+            return wrap(
+                pbd::pvalueCompensated<T>(success_probs, k_threshold));
         return wrap(pbd::pvalue<T>(success_probs, k_threshold));
     }
 
@@ -62,16 +82,23 @@ class FormatOpsImpl final : public FormatOps
     hmmForward(const hmm::Model &model, std::span<const int> obs,
                Dataflow dataflow) const override
     {
-        if constexpr (std::is_same_v<T, LogDouble>) {
-            // The log accelerator PE is the n-ary LSE of Listing 3,
-            // not a pairwise tree over binary LSEs.
-            if (dataflow == Dataflow::Accelerator)
+        if (dataflow == Dataflow::Accelerator) {
+            // The log accelerator PE is the n-ary LSE of Listing 3
+            // (in the format's own function-unit width), not a
+            // pairwise tree over binary LSEs.
+            if constexpr (std::is_same_v<T, LogDouble>)
                 return wrap(
                     hmm::forwardLogNary(model, obs).likelihood);
+            if constexpr (std::is_same_v<T, LogFloat>)
+                return wrap(
+                    hmm::forwardLogNary32(model, obs).likelihood);
         }
-        const auto reduction = dataflow == Dataflow::Accelerator
-                                   ? hmm::Reduction::Tree
-                                   : hmm::Reduction::Sequential;
+        const auto reduction =
+            dataflow == Dataflow::Accelerator
+                ? hmm::Reduction::Tree
+                : (dataflow == Dataflow::SoftwareCompensated
+                       ? hmm::Reduction::Compensated
+                       : hmm::Reduction::Sequential);
         return wrap(
             hmm::forward<T>(model, obs, reduction).likelihood);
     }
@@ -106,6 +133,15 @@ FormatRegistry::FormatRegistry()
         {});
     add(std::make_unique<FormatOpsImpl<Posit<64, 18>>>("posit64_18"),
         {});
+    // The reduced-precision (32-bit and below) tier.
+    add(std::make_unique<FormatOpsImpl<float>>("binary32"),
+        {"float", "single"});
+    add(std::make_unique<FormatOpsImpl<LogFloat>>("log32"),
+        {"logfloat", "log-space32"});
+    add(std::make_unique<FormatOpsImpl<Posit<32, 2>>>("posit32_2"),
+        {"posit32"});
+    add(std::make_unique<FormatOpsImpl<BFloat16>>("bfloat16"),
+        {"bf16"});
     add(std::make_unique<FormatOpsImpl<ScaledDD>>("scaled_dd"),
         {"scaled-dd", "oracle"});
     add(std::make_unique<FormatOpsImpl<BigFloat>>("bigfloat256"),

@@ -4,13 +4,14 @@
  *
  * Every kernel in this repo is a template over a scalar type T; the
  * paper's experiments sweep the same kernels across binary64,
- * log-space, LNS, three posit configurations, and the two oracles.
- * The seed wired each sweep by hand, one template instantiation per
- * call site. FormatOps erases the scalar type behind a small virtual
- * interface — the kernels still run fully typed inside each
- * implementation, so per-element cost is unchanged — and
- * FormatRegistry lets callers select formats by name or id from
- * configuration instead of template parameters.
+ * log-space, LNS, three posit configurations, the two oracles, and
+ * the reduced-precision tier (binary32, log-space binary32,
+ * posit(32,2), bfloat16). The seed wired each sweep by hand, one
+ * template instantiation per call site. FormatOps erases the scalar
+ * type behind a small virtual interface — the kernels still run
+ * fully typed inside each implementation, so per-element cost is
+ * unchanged — and FormatRegistry lets callers select formats by
+ * name or id from configuration instead of template parameters.
  *
  * All results cross the type boundary as exact BigFloat values plus
  * validity flags, which is also how every accuracy figure consumes
@@ -29,6 +30,13 @@
 #include "hmm/forward.hh"
 #include "hmm/model.hh"
 
+/**
+ * @namespace pstat::engine
+ * The engine layer: runtime dispatch over the RealTraits format
+ * family (FormatRegistry / FormatOps) and batched multi-threaded
+ * kernel evaluation (EvalEngine), plus the shared accuracy
+ * bookkeeping (AccuracyTally) the paper figures are built from.
+ */
 namespace pstat::engine
 {
 
@@ -48,21 +56,47 @@ struct EvalResult
  * Which dataflow evaluates the HMM forward kernel.
  *
  * Software is the straightforward sequential loop (Listing 1; for the
- * log format this is the binary LSE chain that log-space software
+ * log formats this is the binary LSE chain that log-space software
  * performs). Accelerator is the paper's PE dataflow: pairwise
  * reduction trees for linear-domain formats, and the n-ary LSE of
- * Listing 3 / Equation (3) for the log format.
+ * Listing 3 / Equation (3) for the log formats (binary64 and
+ * binary32 function units respectively). SoftwareCompensated is the
+ * sequential loop with Neumaier-compensated accumulation — the knob
+ * that keeps the reduced-precision tier usable on long chains; log
+ * formats fall back to plain Software.
  */
 enum class Dataflow
 {
-    Software,
-    Accelerator
+    Software,            //!< sequential Listing-1 loop
+    Accelerator,         //!< reduction trees / n-ary LSE (Listing 3)
+    SoftwareCompensated  //!< sequential loop + Neumaier summation
 };
+
+/**
+ * Summation policy for the running p-value accumulation of the
+ * Listing-2 PBD kernel. Compensated carries the p-value in a
+ * NeumaierSum (see pbd::pvalueCompensated); log-domain formats have
+ * no subtraction and return bit-identical results under either
+ * policy.
+ */
+enum class SumPolicy
+{
+    Plain,      //!< straightforward running sum
+    Compensated //!< Kahan/Neumaier compensated running sum
+};
+
+/**
+ * The process default SumPolicy: Compensated when the
+ * PSTAT_COMPENSATED environment variable is set to a nonzero value,
+ * Plain otherwise. Read once and cached.
+ */
+SumPolicy defaultSumPolicy();
 
 /** Type-erased operations of one number format under study. */
 class FormatOps
 {
   public:
+    /** Virtual destructor (implementations live in the registry). */
     virtual ~FormatOps() = default;
 
     /** Stable machine id, e.g. "posit64_18". */
@@ -84,9 +118,15 @@ class FormatOps
     /** Exact value of the format's rounding of an oracle value. */
     virtual BigFloat fromBigFloat(const BigFloat &v) const = 0;
 
-    /** Listing-2 PBD upper-tail p-value P(X >= k). */
+    /**
+     * Listing-2 PBD upper-tail p-value P(X >= k), accumulated with
+     * the chosen summation policy. (No default argument here on
+     * purpose: defaults on virtuals bind statically; policy
+     * defaulting lives in EvalEngine::pvalueBatch.)
+     */
     virtual EvalResult pbdPValue(std::span<const double> success_probs,
-                                 int k_threshold) const = 0;
+                                 int k_threshold,
+                                 SumPolicy sum) const = 0;
 
     /** Listing-1/3 HMM forward likelihood. */
     virtual EvalResult hmmForward(const hmm::Model &model,
@@ -118,6 +158,7 @@ class FormatRegistry
     /** All registered formats, in registration order. */
     std::vector<const FormatOps *> all() const;
 
+    /** Number of registered formats. */
     size_t size() const { return formats_.size(); }
 
   private:

@@ -5,29 +5,35 @@
 namespace pstat::hmm
 {
 
-ForwardOutcome<LogDouble>
-forwardLogNary(const Model &model, std::span<const int> obs)
+namespace
+{
+
+/**
+ * The Listing-3 n-ary-LSE forward pass with all log values held in
+ * carrier type F (double for LogDouble, float for LogFloat). Returns
+ * the final log-likelihood, or -inf for an empty sequence.
+ */
+template <typename F>
+F
+logNaryForwardLn(const Model &model, std::span<const int> obs)
 {
     const int h = model.num_states;
-    ForwardOutcome<LogDouble> out;
-    if (obs.empty())
-        return out;
 
     // Pre-computed logarithms, as LoFreq/VICAR-style software does
     // (ln_A and ln_B in Listing 3).
-    std::vector<double> ln_a(model.a.size());
+    std::vector<F> ln_a(model.a.size());
     for (size_t i = 0; i < ln_a.size(); ++i)
-        ln_a[i] = std::log(model.a[i]);
-    std::vector<double> ln_b(model.b.size());
+        ln_a[i] = static_cast<F>(std::log(model.a[i]));
+    std::vector<F> ln_b(model.b.size());
     for (size_t i = 0; i < ln_b.size(); ++i)
-        ln_b[i] = std::log(model.b[i]);
+        ln_b[i] = static_cast<F>(std::log(model.b[i]));
 
-    std::vector<double> alpha(h);
-    std::vector<double> alpha_prev(h);
-    std::vector<double> terms(h);
+    std::vector<F> alpha(h);
+    std::vector<F> alpha_prev(h);
+    std::vector<F> terms(h);
     for (int q = 0; q < h; ++q) {
         alpha_prev[q] =
-            std::log(model.pi[q]) +
+            static_cast<F>(std::log(model.pi[q])) +
             ln_b[static_cast<size_t>(q) * model.num_symbols + obs[0]];
     }
 
@@ -38,7 +44,7 @@ forwardLogNary(const Model &model, std::span<const int> obs)
                 terms[p] = alpha_prev[p] +
                            ln_a[static_cast<size_t>(p) * h + q];
             }
-            const double path_sum = logSumExp(terms);
+            const F path_sum = logSumExp(std::span<const F>(terms));
             alpha[q] =
                 path_sum +
                 ln_b[static_cast<size_t>(q) * model.num_symbols + ot];
@@ -46,7 +52,30 @@ forwardLogNary(const Model &model, std::span<const int> obs)
         std::swap(alpha, alpha_prev);
     }
 
-    out.likelihood = LogDouble::fromLn(logSumExp(alpha_prev));
+    return logSumExp(std::span<const F>(alpha_prev));
+}
+
+} // namespace
+
+ForwardOutcome<LogDouble>
+forwardLogNary(const Model &model, std::span<const int> obs)
+{
+    ForwardOutcome<LogDouble> out;
+    if (obs.empty())
+        return out;
+    out.likelihood =
+        LogDouble::fromLn(logNaryForwardLn<double>(model, obs));
+    return out;
+}
+
+ForwardOutcome<LogFloat>
+forwardLogNary32(const Model &model, std::span<const int> obs)
+{
+    ForwardOutcome<LogFloat> out;
+    if (obs.empty())
+        return out;
+    out.likelihood =
+        LogFloat::fromLn(logNaryForwardLn<float>(model, obs));
     return out;
 }
 

@@ -22,8 +22,10 @@
 #include <span>
 #include <vector>
 
+#include "core/compensated.hh"
 #include "core/dd.hh"
 #include "core/logspace.hh"
+#include "core/logspace32.hh"
 #include "core/real_traits.hh"
 #include "hmm/model.hh"
 
@@ -33,8 +35,15 @@ namespace pstat::hmm
 /** Innermost-loop accumulation order. */
 enum class Reduction
 {
-    Sequential, //!< left-to-right software loop
-    Tree        //!< pairwise reduction tree (accelerator dataflow)
+    Sequential,  //!< left-to-right software loop
+    Tree,        //!< pairwise reduction tree (accelerator dataflow)
+    /**
+     * Left-to-right loop with Neumaier compensation — the summation
+     * policy that keeps the reduced-precision tier usable on long
+     * chains. Formats without subtraction (the log-domain scalars)
+     * fall back to plain Sequential.
+     */
+    Compensated
 };
 
 /** Result of a forward run in scalar type T. */
@@ -117,22 +126,39 @@ forward(const Model &model, std::span<const int> obs,
             b[static_cast<size_t>(q) * model.num_symbols + obs[0]];
     }
 
+    // Sequential / Compensated accumulation of one state's path sums
+    // (Tree is handled inline below, over the scratch buffer).
+    const auto accumulate = [&](int q) {
+        if (reduction == Reduction::Compensated) {
+            if constexpr (Compensable<T>) {
+                NeumaierSum<T> acc;
+                for (int p = 0; p < h; ++p)
+                    acc.add(alpha_prev[p] *
+                            a[static_cast<size_t>(p) * h + q]);
+                return acc.value();
+            }
+        }
+        T path_sum = RT::zero();
+        for (int p = 0; p < h; ++p) {
+            path_sum = path_sum +
+                       alpha_prev[p] *
+                           a[static_cast<size_t>(p) * h + q];
+        }
+        return path_sum;
+    };
+
     for (size_t t = 1; t < obs.size(); ++t) {
         const int ot = obs[t];
         for (int q = 0; q < h; ++q) {
             T path_sum = RT::zero();
-            if (reduction == Reduction::Sequential) {
-                for (int p = 0; p < h; ++p) {
-                    path_sum = path_sum +
-                               alpha_prev[p] *
-                                   a[static_cast<size_t>(p) * h + q];
-                }
-            } else {
+            if (reduction == Reduction::Tree) {
                 for (int p = 0; p < h; ++p) {
                     terms[p] = alpha_prev[p] *
                                a[static_cast<size_t>(p) * h + q];
                 }
                 path_sum = reduceTree(terms);
+            } else {
+                path_sum = accumulate(q);
             }
             alpha[q] =
                 path_sum *
@@ -149,13 +175,21 @@ forward(const Model &model, std::span<const int> obs,
         }
     }
 
-    if (reduction == Reduction::Sequential) {
+    if (reduction == Reduction::Tree) {
+        out.likelihood = reduceTree(alpha_prev);
+    } else if (reduction == Reduction::Compensated &&
+               Compensable<T>) {
+        if constexpr (Compensable<T>) {
+            NeumaierSum<T> total;
+            for (int q = 0; q < h; ++q)
+                total.add(alpha_prev[q]);
+            out.likelihood = total.value();
+        }
+    } else {
         T total = RealTraits<T>::zero();
         for (int q = 0; q < h; ++q)
             total = total + alpha_prev[q];
         out.likelihood = total;
-    } else {
-        out.likelihood = reduceTree(alpha_prev);
     }
     return out;
 }
@@ -167,6 +201,15 @@ forward(const Model &model, std::span<const int> obs,
  */
 ForwardOutcome<LogDouble> forwardLogNary(const Model &model,
                                          std::span<const int> obs);
+
+/**
+ * Listing 3 at the reduced-precision tier: the same n-ary-LSE
+ * dataflow with every log value, exponential, and adder-tree
+ * intermediate held in binary32 — the accelerator PE built from
+ * float function units.
+ */
+ForwardOutcome<LogFloat> forwardLogNary32(const Model &model,
+                                          std::span<const int> obs);
 
 /**
  * The classic rescaling baseline from the related work (Section

@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "core/compensated.hh"
 #include "core/dd.hh"
 #include "core/real_traits.hh"
 
@@ -59,14 +60,30 @@ pmf(std::span<const double> success_probs, int k_max)
     return pr_prev;
 }
 
-/**
- * Upper-tail p-value P(X >= K) via the incremental accumulation of
- * Listing 2. Cost O(N * K) — this is the kernel the column-unit
- * accelerator implements.
- */
+namespace detail
+{
+
+/** Plain running-sum accumulator (the NeumaierSum-free policy). */
 template <typename T>
+class PlainSum
+{
+  public:
+    void add(const T &v) { sum_ = sum_ + v; }
+    T value() const { return sum_; }
+
+  private:
+    T sum_ = RealTraits<T>::zero();
+};
+
+/**
+ * The one Listing-2 dynamic program, templated over the accumulator
+ * carrying the running p-value (PlainSum or NeumaierSum). The DP
+ * recurrence and its correctness-sensitive bounds (the n >= K tail
+ * term, the hi = min(n, K-1) cap) live only here.
+ */
+template <typename T, typename Accumulator>
 T
-pvalue(std::span<const double> success_probs, int k_threshold)
+pvalueImpl(std::span<const double> success_probs, int k_threshold)
 {
     using RT = RealTraits<T>;
     if (k_threshold <= 0)
@@ -78,7 +95,7 @@ pvalue(std::span<const double> success_probs, int k_threshold)
     std::vector<T> pr(kcap, RT::zero());
     std::vector<T> pr_prev(kcap, RT::zero());
     pr_prev[0] = RT::one();
-    T pval = RT::zero();
+    Accumulator pval;
 
     for (size_t n = 1; n <= success_probs.size(); ++n) {
         const double pn = success_probs[n - 1];
@@ -86,7 +103,7 @@ pvalue(std::span<const double> success_probs, int k_threshold)
         const T q = RT::fromDouble(1.0 - pn);
 
         if (n >= kcap)
-            pval = pval + pr_prev[kcap - 1] * p;
+            pval.add(pr_prev[kcap - 1] * p);
 
         const auto hi = n < kcap - 1 ? n : kcap - 1;
         for (size_t k = hi; k >= 1; --k)
@@ -94,7 +111,43 @@ pvalue(std::span<const double> success_probs, int k_threshold)
         pr[0] = pr_prev[0] * q;
         std::swap(pr, pr_prev);
     }
-    return pval;
+    return pval.value();
+}
+
+} // namespace detail
+
+/**
+ * Upper-tail p-value P(X >= K) via the incremental accumulation of
+ * Listing 2. Cost O(N * K) — this is the kernel the column-unit
+ * accelerator implements.
+ */
+template <typename T>
+T
+pvalue(std::span<const double> success_probs, int k_threshold)
+{
+    return detail::pvalueImpl<T, detail::PlainSum<T>>(success_probs,
+                                                      k_threshold);
+}
+
+/**
+ * Listing-2 p-value with the compensated summation policy: the
+ * running p-value — a sum of up to N tiny terms, where the cheap
+ * formats shed accumulation bits — is carried in a NeumaierSum. The
+ * two-term DP recurrence is unchanged (nothing to compensate there).
+ * Formats without subtraction (the log-domain scalars) fall back to
+ * the plain accumulation and return bit-identical results.
+ */
+template <typename T>
+T
+pvalueCompensated(std::span<const double> success_probs,
+                  int k_threshold)
+{
+    if constexpr (!Compensable<T>) {
+        return pvalue<T>(success_probs, k_threshold);
+    } else {
+        return detail::pvalueImpl<T, NeumaierSum<T>>(success_probs,
+                                                     k_threshold);
+    }
 }
 
 /** Oracle p-value (ScaledDD arithmetic). */

@@ -7,6 +7,7 @@
  * parallelFor scheduling, and AccuracyTally classification.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <vector>
@@ -31,10 +32,23 @@ TEST(FormatRegistry, ContainsTheWholeRealTraitsFamily)
 {
     const auto &registry = FormatRegistry::instance();
     const std::vector<std::string> expected = {
-        "binary64",   "log",        "lns64",      "posit64_9",
-        "posit64_12", "posit64_18", "scaled_dd",  "bigfloat256"};
+        "binary64", "log",       "lns64",    "posit64_9",
+        "posit64_12", "posit64_18", "binary32", "log32",
+        "posit32_2", "bfloat16", "scaled_dd", "bigfloat256"};
     EXPECT_EQ(registry.ids(), expected);
     EXPECT_EQ(registry.size(), expected.size());
+}
+
+TEST(FormatRegistry, EnumeratesTheReducedPrecisionTier)
+{
+    const auto &registry = FormatRegistry::instance();
+    const auto ids = registry.ids();
+    for (const char *id :
+         {"binary32", "log32", "posit32_2", "bfloat16"}) {
+        EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end())
+            << id;
+        EXPECT_NE(registry.find(id), nullptr) << id;
+    }
 }
 
 TEST(FormatRegistry, LookupByIdNameAndAlias)
@@ -44,6 +58,10 @@ TEST(FormatRegistry, LookupByIdNameAndAlias)
     EXPECT_EQ(registry.at("posit(64,18)").id(), "posit64_18");
     EXPECT_EQ(registry.at("log").name(), "log(binary64)");
     EXPECT_EQ(registry.at("oracle").id(), "scaled_dd");
+    EXPECT_EQ(registry.at("float").id(), "binary32");
+    EXPECT_EQ(registry.at("log32").name(), "log(binary32)");
+    EXPECT_EQ(registry.at("posit32").name(), "posit(32,2)");
+    EXPECT_EQ(registry.at("bf16").id(), "bfloat16");
     EXPECT_EQ(registry.find("no-such-format"), nullptr);
     EXPECT_THROW(registry.at("no-such-format"), std::out_of_range);
 }
@@ -55,7 +73,10 @@ TEST(FormatRegistry, RangeFloorsMatchPositMinpos)
               static_cast<double>(Posit<64, 9>::scale_min));
     EXPECT_EQ(registry.at("posit64_18").rangeFloorLog2(),
               static_cast<double>(Posit<64, 18>::scale_min));
+    EXPECT_EQ(registry.at("posit32_2").rangeFloorLog2(), -120.0);
     EXPECT_EQ(registry.at("binary64").rangeFloorLog2(), 0.0);
+    EXPECT_EQ(registry.at("binary32").rangeFloorLog2(), 0.0);
+    EXPECT_EQ(registry.at("bfloat16").rangeFloorLog2(), 0.0);
     EXPECT_EQ(registry.at("log").rangeFloorLog2(), 0.0);
 }
 
@@ -146,6 +167,146 @@ TEST(EvalEngine, BatchedForwardBitMatchesScalarTemplates)
     }
 }
 
+TEST(EvalEngine, BatchedForwardBitMatchesScalarReducedTier)
+{
+    std::vector<apps::VicarWorkload> workloads;
+    for (int s = 0; s < 4; ++s)
+        workloads.push_back(
+            apps::makeVicarWorkload(900 + s, 4 + s, 120, 0.8));
+
+    EvalEngine engine(4);
+    const auto &registry = FormatRegistry::instance();
+
+    const auto b32 = apps::vicarLikelihoodBatch(
+        registry.at("binary32"), workloads, engine);
+    const auto p32 = apps::vicarLikelihoodBatch(
+        registry.at("posit32_2"), workloads, engine);
+    const auto bf16 = apps::vicarLikelihoodBatch(
+        registry.at("bfloat16"), workloads, engine);
+    const auto lg32 = apps::vicarLikelihoodBatch(
+        registry.at("log32"), workloads, engine);
+
+    for (size_t i = 0; i < workloads.size(); ++i) {
+        const auto &w = workloads[i];
+        EXPECT_TRUE(b32[i].value == scalarForwardAccel<float>(w))
+            << i;
+        EXPECT_TRUE((p32[i].value ==
+                     scalarForwardAccel<Posit<32, 2>>(w)))
+            << i;
+        EXPECT_TRUE(bf16[i].value == scalarForwardAccel<BFloat16>(w))
+            << i;
+        // The log32 accelerator path is Listing 3's n-ary LSE in
+        // binary32 function units.
+        EXPECT_TRUE(
+            lg32[i].value ==
+            RealTraits<LogFloat>::toBigFloat(
+                hmm::forwardLogNary32(w.model, w.obs).likelihood))
+            << i;
+    }
+}
+
+TEST(EvalEngine, BatchedPValuesBitMatchScalarReducedTier)
+{
+    pbd::DatasetConfig config;
+    config.num_columns = 40;
+    config.seed = 17;
+    const auto ds = pbd::makeDataset(config, "engine32");
+
+    EvalEngine engine(4);
+    const auto &registry = FormatRegistry::instance();
+    const auto b32 = apps::lofreqPValues(registry.at("binary32"), ds,
+                                         engine, SumPolicy::Plain);
+    const auto lg32 = apps::lofreqPValues(registry.at("log32"), ds,
+                                          engine, SumPolicy::Plain);
+    const auto p32 = apps::lofreqPValues(registry.at("posit32_2"),
+                                         ds, engine,
+                                         SumPolicy::Plain);
+    const auto bf16 = apps::lofreqPValues(registry.at("bfloat16"),
+                                          ds, engine,
+                                          SumPolicy::Plain);
+
+    for (size_t i = 0; i < ds.columns.size(); ++i) {
+        const auto &col = ds.columns[i];
+        EXPECT_TRUE(b32[i].value ==
+                    RealTraits<float>::toBigFloat(pbd::pvalue<float>(
+                        col.success_probs, col.k)))
+            << i;
+        EXPECT_TRUE(lg32[i].value ==
+                    RealTraits<LogFloat>::toBigFloat(
+                        pbd::pvalue<LogFloat>(col.success_probs,
+                                              col.k)))
+            << i;
+        EXPECT_TRUE((p32[i].value ==
+                     RealTraits<Posit<32, 2>>::toBigFloat(
+                         pbd::pvalue<Posit<32, 2>>(col.success_probs,
+                                                   col.k))))
+            << i;
+        EXPECT_TRUE(bf16[i].value ==
+                    RealTraits<BFloat16>::toBigFloat(
+                        pbd::pvalue<BFloat16>(col.success_probs,
+                                              col.k)))
+            << i;
+    }
+}
+
+TEST(EvalEngine, CompensatedPolicyMatchesScalarCompensated)
+{
+    pbd::DatasetConfig config;
+    config.num_columns = 24;
+    config.seed = 23;
+    const auto ds = pbd::makeDataset(config, "comp");
+
+    EvalEngine engine(4);
+    const auto &registry = FormatRegistry::instance();
+    const auto b32 =
+        apps::lofreqPValues(registry.at("binary32"), ds, engine,
+                            SumPolicy::Compensated);
+    // Log-domain formats have no subtraction: the compensated policy
+    // must fall back to (and bit-match) the plain accumulation.
+    const auto lg =
+        apps::lofreqPValues(registry.at("log"), ds, engine,
+                            SumPolicy::Compensated);
+
+    for (size_t i = 0; i < ds.columns.size(); ++i) {
+        const auto &col = ds.columns[i];
+        EXPECT_TRUE(b32[i].value ==
+                    RealTraits<float>::toBigFloat(
+                        pbd::pvalueCompensated<float>(
+                            col.success_probs, col.k)))
+            << i;
+        EXPECT_TRUE(lg[i].value ==
+                    RealTraits<LogDouble>::toBigFloat(
+                        pbd::pvalue<LogDouble>(col.success_probs,
+                                               col.k)))
+            << i;
+    }
+}
+
+TEST(EvalEngine, CompensatedForwardDataflowMatchesScalar)
+{
+    const auto w = apps::makeVicarWorkload(81, 6, 150, 0.4);
+    const auto &registry = FormatRegistry::instance();
+    const auto got =
+        registry.at("binary32")
+            .hmmForward(w.model, w.obs,
+                        Dataflow::SoftwareCompensated);
+    const BigFloat want = RealTraits<float>::toBigFloat(
+        hmm::forward<float>(w.model, w.obs,
+                            hmm::Reduction::Compensated)
+            .likelihood);
+    EXPECT_TRUE(got.value == want);
+
+    // Log formats fall back to the plain sequential chain.
+    const auto got_log =
+        registry.at("log").hmmForward(
+            w.model, w.obs, Dataflow::SoftwareCompensated);
+    const BigFloat want_log = RealTraits<LogDouble>::toBigFloat(
+        hmm::forward<LogDouble>(w.model, w.obs,
+                                hmm::Reduction::Sequential)
+            .likelihood);
+    EXPECT_TRUE(got_log.value == want_log);
+}
+
 TEST(EvalEngine, SoftwareDataflowMatchesSequentialScalar)
 {
     const auto w = apps::makeVicarWorkload(77, 6, 120, 20.0);
@@ -170,9 +331,11 @@ TEST(EvalEngine, BatchedPValuesBitMatchScalarTemplates)
     EvalEngine engine(4);
     const auto &registry = FormatRegistry::instance();
     const auto lg =
-        apps::lofreqPValues(registry.at("log"), ds, engine);
+        apps::lofreqPValues(registry.at("log"), ds, engine,
+                            SumPolicy::Plain);
     const auto p12 =
-        apps::lofreqPValues(registry.at("posit64_12"), ds, engine);
+        apps::lofreqPValues(registry.at("posit64_12"), ds, engine,
+                            SumPolicy::Plain);
     const auto oracle = apps::lofreqOracle(ds, engine);
     const auto oracle_serial = apps::lofreqOracle(ds);
 
