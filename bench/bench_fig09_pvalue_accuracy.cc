@@ -121,12 +121,11 @@ main()
         std::printf("  %-13s underflows: %3d   rel-err>=1 cases: %3d",
                     t.label().c_str(), t.underflows(),
                     t.hugeErrors());
-        if (t.hugeErrors() > 0) {
-            if (t.worstLog10() >= accuracy::invalid_log10)
+        if (const auto worst = t.worstLog10()) {
+            if (*worst >= accuracy::invalid_log10)
                 std::printf("   largest rel err: >=1e+400 (clamped)");
             else
-                std::printf("   largest rel err: 1e%+.0f",
-                            t.worstLog10());
+                std::printf("   largest rel err: 1e%+.0f", *worst);
         }
         std::printf("\n");
     }

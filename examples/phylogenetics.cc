@@ -2,17 +2,21 @@
  * @file
  * Phylogenetics scenario (the paper's VICAR case study): estimate an
  * HMM likelihood over genome sites where the true value is around
- * 2^-100,000, compare every number system, and consult the FPGA
- * model for what an accelerator build of this pipeline would cost.
+ * 2^-100,000, compare every number system, decode the hidden state
+ * sequence (posterior marginals + Viterbi through the engine's
+ * batched entry points), and consult the FPGA model for what an
+ * accelerator build of this pipeline would cost.
  *
  * Usage: phylogenetics [H] [T] [decay_bits_per_site]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "apps/vicar.hh"
 #include "core/accuracy.hh"
+#include "engine/eval_engine.hh"
 #include "fpga/accelerator.hh"
 #include "stats/table.hh"
 
@@ -58,6 +62,46 @@ main(int argc, char **argv)
     report("posit(64,18)",
            apps::vicarLikelihood<Posit<64, 18>>(workload));
     table.print();
+
+    // Decode the hidden state sequence through the engine: posterior
+    // marginals (renormalized, so narrow formats survive the depth)
+    // and the Viterbi path, against the ScaledDD oracle.
+    engine::EvalEngine engine;
+    const engine::ForwardJob job{&workload.model, workload.obs};
+    const std::span<const engine::ForwardJob> jobs(&job, 1);
+    const auto oracle_gamma = engine.posteriorOracleBatch(jobs)[0];
+    const auto oracle_path = engine.viterbiOracleBatch(jobs)[0];
+
+    std::printf("\ndecoding (posterior marginals renormalized per "
+                "step; Viterbi in-format):\n");
+    stats::TextTable decode_table({"number system",
+                                   "worst gamma err (log10)",
+                                   "viterbi agreement"});
+    const auto &registry = engine::FormatRegistry::instance();
+    for (const char *id :
+         {"binary64", "log", "posit64_18", "log32", "binary32",
+          "bfloat16"}) {
+        const auto &format = registry.at(id);
+        const auto post = engine.posteriorBatch(
+            format, jobs, engine::Dataflow::Accelerator, true);
+        const auto vit = engine.viterbiBatch(format, jobs)[0];
+        double worst = -400.0;
+        for (size_t k = 0; k < oracle_gamma.size(); ++k) {
+            const double err = accuracy::relErrLog10(
+                oracle_gamma[k], post[0].gamma[k].value);
+            worst = err > worst ? err : worst;
+        }
+        size_t agree = 0;
+        for (size_t t = 0; t < oracle_path.size(); ++t)
+            agree += vit.path[t] == oracle_path[t] ? 1 : 0;
+        decode_table.addRow(
+            {format.name(), stats::formatDouble(worst, 1),
+             stats::formatPercent(static_cast<double>(agree) /
+                                      static_cast<double>(
+                                          oracle_path.size()),
+                                  1)});
+    }
+    decode_table.print();
 
     // What would an accelerator for this workload cost?
     std::printf("\naccelerator model for H=%d (T=500,000 run):\n", h);

@@ -221,6 +221,25 @@ struct ScaledDD
         out.renormalize();
         return out;
     }
+
+    /**
+     * Ordering. renormalize() keeps |mant.hi| in [0.5, 1), so for
+     * same-sign operands the exponents order first and the mantissas
+     * break ties; sign and zero cases are handled explicitly.
+     */
+    friend bool
+    operator<(const ScaledDD &a, const ScaledDD &b)
+    {
+        const int sa = a.isZero() ? 0 : (a.mant.hi < 0.0 ? -1 : 1);
+        const int sb = b.isZero() ? 0 : (b.mant.hi < 0.0 ? -1 : 1);
+        if (sa != sb)
+            return sa < sb;
+        if (sa == 0)
+            return false; // both zero
+        if (a.exp2 != b.exp2)
+            return sa > 0 ? a.exp2 < b.exp2 : b.exp2 < a.exp2;
+        return a.mant < b.mant;
+    }
 };
 
 } // namespace pstat

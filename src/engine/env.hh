@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Strict parsing of the engine's environment knobs.
+ *
+ * The engine reads PSTAT_THREADS and PSTAT_COMPENSATED from the
+ * environment. std::atol-style parsing silently accepts trailing
+ * garbage ("8x" becomes 8) and saturates out-of-range values, which
+ * turns a typo into a misconfigured run with no diagnostic. The
+ * helpers here validate the full string and report failure as an
+ * empty optional so callers can warn and fall back deliberately.
+ */
+
+#ifndef PSTAT_ENGINE_ENV_HH
+#define PSTAT_ENGINE_ENV_HH
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pstat::engine
+{
+
+/**
+ * Parse a decimal integer with full-string validation: leading
+ * whitespace is accepted (strtol semantics) but any trailing
+ * character, an empty string, or an out-of-range value yields an
+ * empty optional instead of a silently mangled number.
+ */
+inline std::optional<long>
+parseLong(const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const long parsed = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE)
+        return std::nullopt;
+    return parsed;
+}
+
+/**
+ * Parse a boolean knob: a validated integer (nonzero is true) or one
+ * of the case-insensitive tokens true/false/yes/no/on/off. Leading
+ * whitespace is accepted on both paths (matching strtol); anything
+ * else — including integers or tokens with trailing garbage — yields
+ * an empty optional.
+ */
+inline std::optional<bool>
+parseBool(const char *text)
+{
+    if (const auto n = parseLong(text))
+        return *n != 0;
+    if (text == nullptr)
+        return std::nullopt;
+    while (std::isspace(static_cast<unsigned char>(*text)))
+        ++text;
+    std::string lowered;
+    for (const char *p = text; *p != '\0'; ++p)
+        lowered += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    const std::string_view v(lowered);
+    if (v == "true" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "no" || v == "off")
+        return false;
+    return std::nullopt;
+}
+
+} // namespace pstat::engine
+
+#endif // PSTAT_ENGINE_ENV_HH

@@ -1,23 +1,47 @@
 #include "engine/eval_engine.hh"
 
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "core/accuracy.hh"
 #include "core/real_traits.hh"
+#include "engine/env.hh"
+#include "hmm/decode.hh"
 #include "hmm/forward.hh"
 #include "pbd/pbd.hh"
 
 namespace pstat::engine
 {
 
+namespace
+{
+
+/** Upper clamp for PSTAT_THREADS: far above any sane machine. */
+constexpr long max_thread_override = 1024;
+
+} // namespace
+
 EvalEngine::EvalEngine(unsigned num_threads)
 {
     if (num_threads == 0) {
         if (const char *env = std::getenv("PSTAT_THREADS")) {
-            const long parsed = std::atol(env);
-            if (parsed > 0)
-                num_threads = static_cast<unsigned>(parsed);
+            // Full-string validation: "8x" or an out-of-range value
+            // is a configuration error worth a diagnostic, not a
+            // silently mangled lane count.
+            const auto parsed = parseLong(env);
+            if (!parsed || *parsed <= 0) {
+                std::fprintf(stderr,
+                             "pstat: ignoring invalid PSTAT_THREADS="
+                             "\"%s\" (want a positive integer)\n",
+                             env);
+            } else {
+                num_threads = static_cast<unsigned>(
+                    std::min(*parsed, max_thread_override));
+            }
         }
     }
     if (num_threads == 0) {
@@ -190,12 +214,88 @@ EvalEngine::forwardOracleBatch(std::span<const ForwardJob> jobs)
     return out;
 }
 
+std::vector<EvalResult>
+EvalEngine::backwardBatch(const FormatOps &format,
+                          std::span<const ForwardJob> jobs,
+                          Dataflow dataflow)
+{
+    std::vector<EvalResult> out(jobs.size());
+    parallelFor(jobs.size(), [&](size_t i) {
+        out[i] = format.hmmBackward(*jobs[i].model, jobs[i].obs,
+                                    dataflow);
+    });
+    return out;
+}
+
+std::vector<BigFloat>
+EvalEngine::backwardOracleBatch(std::span<const ForwardJob> jobs)
+{
+    std::vector<BigFloat> out(jobs.size());
+    parallelFor(jobs.size(), [&](size_t i) {
+        out[i] = hmm::backward<ScaledDD>(*jobs[i].model, jobs[i].obs)
+                     .likelihood.toBigFloat();
+    });
+    return out;
+}
+
+std::vector<PosteriorResult>
+EvalEngine::posteriorBatch(const FormatOps &format,
+                           std::span<const ForwardJob> jobs,
+                           Dataflow dataflow, bool renormalize)
+{
+    std::vector<PosteriorResult> out(jobs.size());
+    parallelFor(jobs.size(), [&](size_t i) {
+        out[i] = format.hmmPosterior(*jobs[i].model, jobs[i].obs,
+                                     dataflow, renormalize);
+    });
+    return out;
+}
+
+std::vector<std::vector<BigFloat>>
+EvalEngine::posteriorOracleBatch(std::span<const ForwardJob> jobs)
+{
+    std::vector<std::vector<BigFloat>> out(jobs.size());
+    parallelFor(jobs.size(), [&](size_t i) {
+        const auto res = hmm::posterior<ScaledDD>(*jobs[i].model,
+                                                  jobs[i].obs);
+        out[i].reserve(res.gamma.size());
+        for (const ScaledDD &g : res.gamma)
+            out[i].push_back(g.toBigFloat());
+    });
+    return out;
+}
+
+std::vector<ViterbiResult>
+EvalEngine::viterbiBatch(const FormatOps &format,
+                         std::span<const ForwardJob> jobs)
+{
+    std::vector<ViterbiResult> out(jobs.size());
+    parallelFor(jobs.size(), [&](size_t i) {
+        out[i] = format.hmmViterbi(*jobs[i].model, jobs[i].obs);
+    });
+    return out;
+}
+
+std::vector<std::vector<int>>
+EvalEngine::viterbiOracleBatch(std::span<const ForwardJob> jobs)
+{
+    std::vector<std::vector<int>> out(jobs.size());
+    parallelFor(jobs.size(), [&](size_t i) {
+        out[i] = hmm::viterbi<ScaledDD>(*jobs[i].model, jobs[i].obs)
+                     .path;
+    });
+    return out;
+}
+
 AccuracyTally::AccuracyTally(std::string label,
                              double range_floor_log2,
                              std::vector<stats::ExponentBin> bins)
     : label_(std::move(label)), range_floor_(range_floor_log2),
       bins_(std::move(bins))
 {
+    // The floor is a log2 magnitude: 0 disables, any finite nonzero
+    // value (typically negative, e.g. posit minpos) is honored.
+    assert(std::isfinite(range_floor_));
     binned_.resize(bins_.size());
 }
 
@@ -209,15 +309,19 @@ AccuracyTally::add(const BigFloat &oracle, const EvalResult &result)
     const double err = accuracy::relErrLog10(oracle, result.value);
     errors_.push_back(err);
 
+    // A nonzero floor applies regardless of sign; the old
+    // `range_floor_ < 0.0` predicate silently ignored positive
+    // floors, contradicting the documented "0 disables" contract.
     const bool out_of_range =
-        range_floor_ < 0.0 && oracle.log2Abs() < range_floor_;
+        range_floor_ != 0.0 && oracle.log2Abs() < range_floor_;
     if (out_of_range || result.underflow) {
         ++underflows_;
         return Outcome::Underflow;
     }
     if (err >= 0.0) {
         ++huge_errors_;
-        worst_log10_ = std::max(worst_log10_, err);
+        worst_log10_ =
+            worst_log10_ ? std::max(*worst_log10_, err) : err;
         return Outcome::HugeError;
     }
     const int bin = stats::binIndex(bins_, oracle.log2Abs());

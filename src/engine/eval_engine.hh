@@ -5,10 +5,12 @@
  * The accuracy figures evaluate thousands of independent work items
  * (alignment columns, HMM sequences) per format; the seed ran them
  * one nested loop at a time. EvalEngine owns a persistent worker
- * pool and evaluates whole batches through the type-erased FormatOps
- * interface, writing each item's result into its own slot — so the
- * batched output is bit-identical to the serial per-item loops, just
- * computed on every core. AccuracyTally then folds results against
+ * pool and evaluates whole batches — p-values and the full HMM
+ * kernel family (forward, backward, posterior marginals, Viterbi),
+ * each with its ScaledDD oracle batch — through the type-erased
+ * FormatOps interface, writing each item's result into its own slot,
+ * so the batched output is bit-identical to the serial per-item
+ * loops, just computed on every core. AccuracyTally then folds results against
  * oracle values serially (deterministic order) using the
  * core/accuracy.hh measurement, replacing the per-format tally code
  * that was copy-pasted across the benches.
@@ -20,6 +22,7 @@
 #include <condition_variable>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -31,7 +34,10 @@
 namespace pstat::engine
 {
 
-/** One HMM forward work item (model is borrowed, not owned). */
+/**
+ * One HMM work item (model is borrowed, not owned) — the input of
+ * every HMM batch: forward, backward, posterior, and Viterbi.
+ */
 struct ForwardJob
 {
     const hmm::Model *model = nullptr; //!< borrowed model (A, B, pi)
@@ -92,6 +98,45 @@ class EvalEngine
     std::vector<BigFloat>
     forwardOracleBatch(std::span<const ForwardJob> jobs);
 
+    /** Backward likelihood of every job, in job order. */
+    std::vector<EvalResult>
+    backwardBatch(const FormatOps &format,
+                  std::span<const ForwardJob> jobs,
+                  Dataflow dataflow = Dataflow::Accelerator);
+
+    /** Oracle (ScaledDD) backward likelihood of every job. */
+    std::vector<BigFloat>
+    backwardOracleBatch(std::span<const ForwardJob> jobs);
+
+    /**
+     * Posterior state marginals of every job, in job order. Each
+     * result's gamma is the flattened T x H matrix of the job;
+     * results are bit-identical to calling format.hmmPosterior
+     * serially per job.
+     */
+    std::vector<PosteriorResult>
+    posteriorBatch(const FormatOps &format,
+                   std::span<const ForwardJob> jobs,
+                   Dataflow dataflow = Dataflow::Accelerator,
+                   bool renormalize = false);
+
+    /**
+     * Oracle (ScaledDD, raw recursions — its range needs no
+     * rescaling) posterior marginals of every job, flattened T x H
+     * per job in job order.
+     */
+    std::vector<std::vector<BigFloat>>
+    posteriorOracleBatch(std::span<const ForwardJob> jobs);
+
+    /** Viterbi decodes of every job, in job order. */
+    std::vector<ViterbiResult>
+    viterbiBatch(const FormatOps &format,
+                 std::span<const ForwardJob> jobs);
+
+    /** Oracle (ScaledDD) Viterbi paths of every job. */
+    std::vector<std::vector<int>>
+    viterbiOracleBatch(std::span<const ForwardJob> jobs);
+
   private:
     void workerLoop();
     void runBatch(size_t n, const std::function<void(size_t)> &fn);
@@ -128,9 +173,14 @@ class AccuracyTally
   public:
     /**
      * @param label display label for tables
-     * @param range_floor_log2 out-of-range cut-off: oracle values
-     *        below 2^range_floor underflow in hardware even though
-     *        the scalar saturates (posit minpos). 0 disables.
+     * @param range_floor_log2 out-of-range cut-off: samples whose
+     *        oracle magnitude is below 2^range_floor count as
+     *        underflows even when the scalar saturated instead of
+     *        flushing (posit minpos). Any nonzero value is honored —
+     *        the floor is a log2 magnitude and is typically negative
+     *        (e.g. Posit::scale_min), but positive floors classify
+     *        too; exactly 0 disables the check. Must be finite
+     *        (asserted).
      * @param bins oracle-magnitude bins for the box-plot series;
      *        empty for CDF-style use.
      */
@@ -163,8 +213,12 @@ class AccuracyTally
     int underflows() const { return underflows_; }
     /** Samples whose relative error reached 1 or more. */
     int hugeErrors() const { return huge_errors_; }
-    /** Largest log10 relative error among huge-error samples. */
-    double worstLog10() const { return worst_log10_; }
+    /**
+     * Largest log10 relative error among huge-error samples, or an
+     * empty optional when no huge error was recorded (instead of the
+     * former private -1e9 sentinel leaking to callers).
+     */
+    std::optional<double> worstLog10() const { return worst_log10_; }
     /** Total samples with a nonzero oracle. */
     size_t samples() const { return samples_; }
 
@@ -176,7 +230,7 @@ class AccuracyTally
     std::vector<std::vector<double>> binned_;
     int underflows_ = 0;
     int huge_errors_ = 0;
-    double worst_log10_ = -1e9;
+    std::optional<double> worst_log10_;
     size_t samples_ = 0;
 };
 

@@ -1,11 +1,12 @@
 #include "engine/format_registry.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
-#include <string_view>
 #include <utility>
 
 #include "core/real_traits.hh"
+#include "engine/env.hh"
 #include "pbd/pbd.hh"
 
 namespace pstat::engine
@@ -15,13 +16,22 @@ SumPolicy
 defaultSumPolicy()
 {
     static const SumPolicy policy = [] {
-        // Any non-empty value except "0" enables compensation, so
-        // PSTAT_COMPENSATED=1/true/yes all behave as users expect.
+        // Strictly validated boolean: 1/true/yes/on enable
+        // compensation, 0/false/no/off disable it, anything else
+        // (e.g. "1x") warns and keeps the Plain default instead of
+        // being silently misread.
         const char *env = std::getenv("PSTAT_COMPENSATED");
-        return env != nullptr && env[0] != '\0' &&
-                       std::string_view(env) != "0"
-                   ? SumPolicy::Compensated
-                   : SumPolicy::Plain;
+        if (env == nullptr || env[0] == '\0')
+            return SumPolicy::Plain;
+        const auto parsed = parseBool(env);
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "pstat: ignoring invalid PSTAT_COMPENSATED="
+                         "\"%s\" (want 0/1/true/false/yes/no/on/off)\n",
+                         env);
+            return SumPolicy::Plain;
+        }
+        return *parsed ? SumPolicy::Compensated : SumPolicy::Plain;
     }();
     return policy;
 }
@@ -38,6 +48,21 @@ rangeFloorOf()
         return static_cast<double>(T::scale_min);
     else
         return 0.0;
+}
+
+/** The Reduction policy a generic (non-log-PE) dataflow maps to. */
+hmm::Reduction
+reductionOf(Dataflow dataflow)
+{
+    switch (dataflow) {
+    case Dataflow::Accelerator:
+        return hmm::Reduction::Tree;
+    case Dataflow::SoftwareCompensated:
+        return hmm::Reduction::Compensated;
+    case Dataflow::Software:
+        break;
+    }
+    return hmm::Reduction::Sequential;
 }
 
 /** The one FormatOps implementation, fully typed inside. */
@@ -93,14 +118,55 @@ class FormatOpsImpl final : public FormatOps
                 return wrap(
                     hmm::forwardLogNary32(model, obs).likelihood);
         }
-        const auto reduction =
-            dataflow == Dataflow::Accelerator
-                ? hmm::Reduction::Tree
-                : (dataflow == Dataflow::SoftwareCompensated
-                       ? hmm::Reduction::Compensated
-                       : hmm::Reduction::Sequential);
         return wrap(
-            hmm::forward<T>(model, obs, reduction).likelihood);
+            hmm::forward<T>(model, obs, reductionOf(dataflow))
+                .likelihood);
+    }
+
+    EvalResult
+    hmmBackward(const hmm::Model &model, std::span<const int> obs,
+                Dataflow dataflow) const override
+    {
+        if (dataflow == Dataflow::Accelerator) {
+            // Same PE story as forward: the log accelerator runs the
+            // n-ary LSE dataflow, not a tree of binary LSEs.
+            if constexpr (std::is_same_v<T, LogDouble>)
+                return wrap(
+                    hmm::backwardLogNary(model, obs).likelihood);
+            if constexpr (std::is_same_v<T, LogFloat>)
+                return wrap(
+                    hmm::backwardLogNary32(model, obs).likelihood);
+        }
+        return wrap(
+            hmm::backward<T>(model, obs, reductionOf(dataflow))
+                .likelihood);
+    }
+
+    PosteriorResult
+    hmmPosterior(const hmm::Model &model, std::span<const int> obs,
+                 Dataflow dataflow, bool renormalize) const override
+    {
+        const auto res = hmm::posterior<T>(
+            model, obs, reductionOf(dataflow), renormalize);
+        PosteriorResult out;
+        out.gamma.reserve(res.gamma.size());
+        for (const T &g : res.gamma)
+            out.gamma.push_back(wrap(g));
+        out.likelihood = wrap(res.likelihood);
+        out.first_underflow_step = res.first_underflow_step;
+        return out;
+    }
+
+    ViterbiResult
+    hmmViterbi(const hmm::Model &model,
+               std::span<const int> obs) const override
+    {
+        auto res = hmm::viterbi<T>(model, obs);
+        ViterbiResult out;
+        out.path = std::move(res.path);
+        out.probability = wrap(res.probability);
+        out.first_underflow_step = res.first_underflow_step;
+        return out;
     }
 
   private:

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bigfloat/bigfloat.hh"
+#include "hmm/decode.hh"
 #include "hmm/forward.hh"
 #include "hmm/model.hh"
 
@@ -50,6 +51,37 @@ struct EvalResult
     BigFloat value;         //!< exact value of the format's result
     bool invalid = false;   //!< NaR / NaN
     bool underflow = false; //!< computed exactly 0
+};
+
+/**
+ * Posterior state marginals of one sequence, exact-valued: gamma is
+ * flattened row-major (gamma[t * H + q] is P(state q at t | O)),
+ * each entry the exact value of the format's normalized posterior.
+ */
+struct PosteriorResult
+{
+    std::vector<EvalResult> gamma; //!< T x H marginals, row-major
+    /**
+     * P(O | lambda): the raw final forward sum, or the product of
+     * the per-step normalizers under renormalization (which may
+     * underflow in narrow linear formats even when the gammas
+     * survive).
+     */
+    EvalResult likelihood;
+    /** First step where every alpha was zero, or -1 (see hmm). */
+    int first_underflow_step = -1;
+};
+
+/**
+ * Viterbi decoding of one sequence: the argmax path plus the joint
+ * probability of that path as computed in the format.
+ */
+struct ViterbiResult
+{
+    std::vector<int> path;  //!< most likely hidden state per position
+    EvalResult probability; //!< joint probability of the path
+    /** First step where every delta was zero, or -1 (see hmm). */
+    int first_underflow_step = -1;
 };
 
 /**
@@ -132,6 +164,36 @@ class FormatOps
     virtual EvalResult hmmForward(const hmm::Model &model,
                                   std::span<const int> obs,
                                   Dataflow dataflow) const = 0;
+
+    /**
+     * HMM backward likelihood: P(O) from the backward termination
+     * sum. The Accelerator dataflow maps to the tree reduction for
+     * linear formats and the n-ary LSE (backwardLogNary/32) for the
+     * log formats, mirroring hmmForward.
+     */
+    virtual EvalResult hmmBackward(const hmm::Model &model,
+                                   std::span<const int> obs,
+                                   Dataflow dataflow) const = 0;
+
+    /**
+     * Forward-backward posterior state marginals. @p renormalize
+     * selects the per-step rescaling defense against underflow (the
+     * scales cancel in the marginals); the dataflow maps to the
+     * Reduction policy of every inner sum exactly as in hmmForward's
+     * generic path.
+     */
+    virtual PosteriorResult hmmPosterior(const hmm::Model &model,
+                                         std::span<const int> obs,
+                                         Dataflow dataflow,
+                                         bool renormalize) const = 0;
+
+    /**
+     * Viterbi decoding with all products carried in the format.
+     * max/argmax are order operations, so there is no reduction
+     * policy: the failure mode under study is delta underflow.
+     */
+    virtual ViterbiResult hmmViterbi(const hmm::Model &model,
+                                     std::span<const int> obs) const = 0;
 };
 
 /**

@@ -1,0 +1,85 @@
+#include "hmm/decode.hh"
+
+#include <cmath>
+
+#include "core/logspace.hh"
+#include "core/logspace32.hh"
+
+namespace pstat::hmm
+{
+
+namespace
+{
+
+/**
+ * The n-ary-LSE backward pass with all log values held in carrier
+ * type F (double for LogDouble, float for LogFloat), mirroring
+ * logNaryForwardLn in forward.cc. Returns the final log-likelihood
+ * from the backward termination sum.
+ */
+template <typename F>
+F
+logNaryBackwardLn(const Model &model, std::span<const int> obs)
+{
+    const int h = model.num_states;
+
+    std::vector<F> ln_a(model.a.size());
+    for (size_t i = 0; i < ln_a.size(); ++i)
+        ln_a[i] = static_cast<F>(std::log(model.a[i]));
+    std::vector<F> ln_b(model.b.size());
+    for (size_t i = 0; i < ln_b.size(); ++i)
+        ln_b[i] = static_cast<F>(std::log(model.b[i]));
+
+    std::vector<F> beta(h);
+    std::vector<F> beta_prev(h, F(0)); // ln 1
+    std::vector<F> terms(h);
+
+    for (size_t t = obs.size() - 1; t > 0; --t) {
+        const int ot = obs[t];
+        for (int p = 0; p < h; ++p) {
+            for (int q = 0; q < h; ++q) {
+                terms[q] =
+                    ln_a[static_cast<size_t>(p) * h + q] +
+                    ln_b[static_cast<size_t>(q) * model.num_symbols +
+                         ot] +
+                    beta_prev[q];
+            }
+            beta[p] = logSumExp(std::span<const F>(terms));
+        }
+        std::swap(beta, beta_prev);
+    }
+
+    for (int q = 0; q < h; ++q) {
+        terms[q] =
+            static_cast<F>(std::log(model.pi[q])) +
+            ln_b[static_cast<size_t>(q) * model.num_symbols + obs[0]] +
+            beta_prev[q];
+    }
+    return logSumExp(std::span<const F>(terms));
+}
+
+} // namespace
+
+BackwardOutcome<LogDouble>
+backwardLogNary(const Model &model, std::span<const int> obs)
+{
+    BackwardOutcome<LogDouble> out;
+    if (obs.empty())
+        return out;
+    out.likelihood =
+        LogDouble::fromLn(logNaryBackwardLn<double>(model, obs));
+    return out;
+}
+
+BackwardOutcome<LogFloat>
+backwardLogNary32(const Model &model, std::span<const int> obs)
+{
+    BackwardOutcome<LogFloat> out;
+    if (obs.empty())
+        return out;
+    out.likelihood =
+        LogFloat::fromLn(logNaryBackwardLn<float>(model, obs));
+    return out;
+}
+
+} // namespace pstat::hmm

@@ -10,6 +10,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,8 +19,10 @@
 #include "apps/lofreq.hh"
 #include "apps/vicar.hh"
 #include "core/accuracy.hh"
+#include "engine/env.hh"
 #include "engine/eval_engine.hh"
 #include "engine/format_registry.hh"
+#include "hmm/decode.hh"
 #include "hmm/forward.hh"
 #include "pbd/pbd.hh"
 
@@ -122,6 +126,47 @@ TEST(EvalEngine, ParallelForPropagatesExceptions)
     std::atomic<int> count{0};
     engine.parallelFor(64, [&](size_t) { count++; });
     EXPECT_EQ(count.load(), 64);
+}
+
+TEST(EvalEngine, ManyLanesThrowingInOneBatchPropagatesOne)
+{
+    // Every lane hits throwing items concurrently; exactly one
+    // exception must surface on the calling thread, and the batch
+    // must still drain cleanly.
+    EvalEngine engine(8);
+    std::atomic<int> attempted{0};
+    try {
+        engine.parallelFor(3000, [&](size_t i) {
+            attempted++;
+            if (i % 3 == 0)
+                throw std::runtime_error("lane boom " +
+                                         std::to_string(i));
+        });
+        FAIL() << "expected a rethrown exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("lane boom"),
+                  std::string::npos);
+    }
+    EXPECT_GE(attempted.load(), 1);
+}
+
+TEST(EvalEngine, ReusableAcrossRepeatedRethrows)
+{
+    EvalEngine engine(4);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(engine.parallelFor(
+                         256,
+                         [&](size_t i) {
+                             if (i % 7 == 0)
+                                 throw std::invalid_argument("again");
+                         }),
+                     std::invalid_argument);
+        // A clean batch right after every rethrow covers every index.
+        std::vector<std::atomic<int>> hits(512);
+        engine.parallelFor(hits.size(), [&](size_t i) { hits[i]++; });
+        for (size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "round " << round;
+    }
 }
 
 /** Scalar reference for one format's accelerator forward path. */
@@ -370,6 +415,270 @@ TEST(EvalEngine, EvalResultFlagsMatchScalarPredicates)
                                      Dataflow::Accelerator);
     EXPECT_FALSE(p18.underflow);
     EXPECT_FALSE(p18.invalid);
+}
+
+/** Shared small job set for the decode-batch bit-match tests. */
+std::vector<apps::VicarWorkload> &
+decodeWorkloads()
+{
+    static std::vector<apps::VicarWorkload> workloads = [] {
+        std::vector<apps::VicarWorkload> w;
+        for (int s = 0; s < 3; ++s)
+            w.push_back(
+                apps::makeVicarWorkload(300 + s, 3 + s, 40, 2.0));
+        return w;
+    }();
+    return workloads;
+}
+
+std::vector<ForwardJob>
+decodeJobs()
+{
+    std::vector<ForwardJob> jobs;
+    for (const auto &w : decodeWorkloads())
+        jobs.push_back({&w.model, w.obs});
+    return jobs;
+}
+
+TEST(EvalEngine, BatchedBackwardBitMatchesSerialEveryFormat)
+{
+    EvalEngine engine(4);
+    const auto jobs = decodeJobs();
+    for (const FormatOps *format : FormatRegistry::instance().all()) {
+        const auto batched = engine.backwardBatch(*format, jobs);
+        ASSERT_EQ(batched.size(), jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            const auto serial = format->hmmBackward(
+                *jobs[i].model, jobs[i].obs, Dataflow::Accelerator);
+            EXPECT_TRUE(batched[i].value == serial.value)
+                << format->id() << " job " << i;
+            EXPECT_EQ(batched[i].underflow, serial.underflow);
+            EXPECT_EQ(batched[i].invalid, serial.invalid);
+        }
+    }
+}
+
+TEST(EvalEngine, BatchedPosteriorBitMatchesSerialEveryFormat)
+{
+    EvalEngine engine(4);
+    const auto jobs = decodeJobs();
+    for (const FormatOps *format : FormatRegistry::instance().all()) {
+        for (bool renorm : {false, true}) {
+            const auto batched = engine.posteriorBatch(
+                *format, jobs, Dataflow::Accelerator, renorm);
+            ASSERT_EQ(batched.size(), jobs.size());
+            for (size_t i = 0; i < jobs.size(); ++i) {
+                const auto serial = format->hmmPosterior(
+                    *jobs[i].model, jobs[i].obs,
+                    Dataflow::Accelerator, renorm);
+                ASSERT_EQ(batched[i].gamma.size(),
+                          serial.gamma.size())
+                    << format->id();
+                for (size_t k = 0; k < serial.gamma.size(); ++k) {
+                    ASSERT_TRUE(batched[i].gamma[k].value ==
+                                serial.gamma[k].value)
+                        << format->id() << " job " << i << " k=" << k
+                        << " renorm=" << renorm;
+                }
+                EXPECT_TRUE(batched[i].likelihood.value ==
+                            serial.likelihood.value)
+                    << format->id();
+                EXPECT_EQ(batched[i].first_underflow_step,
+                          serial.first_underflow_step);
+            }
+        }
+    }
+}
+
+TEST(EvalEngine, BatchedViterbiBitMatchesSerialEveryFormat)
+{
+    EvalEngine engine(4);
+    const auto jobs = decodeJobs();
+    for (const FormatOps *format : FormatRegistry::instance().all()) {
+        const auto batched = engine.viterbiBatch(*format, jobs);
+        ASSERT_EQ(batched.size(), jobs.size());
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            const auto serial =
+                format->hmmViterbi(*jobs[i].model, jobs[i].obs);
+            EXPECT_EQ(batched[i].path, serial.path)
+                << format->id() << " job " << i;
+            EXPECT_TRUE(batched[i].probability.value ==
+                        serial.probability.value)
+                << format->id();
+            EXPECT_EQ(batched[i].first_underflow_step,
+                      serial.first_underflow_step);
+        }
+    }
+}
+
+TEST(EvalEngine, BackwardMatchesScalarTemplatesAndLogNary)
+{
+    EvalEngine engine(4);
+    const auto jobs = decodeJobs();
+    const auto &registry = FormatRegistry::instance();
+
+    const auto p18 = engine.backwardBatch(registry.at("posit64_18"),
+                                          jobs);
+    const auto lg = engine.backwardBatch(registry.at("log"), jobs);
+    const auto lg32 = engine.backwardBatch(registry.at("log32"),
+                                           jobs);
+    const auto oracle = engine.backwardOracleBatch(jobs);
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const auto &m = *jobs[i].model;
+        EXPECT_TRUE(
+            (p18[i].value ==
+             RealTraits<Posit<64, 18>>::toBigFloat(
+                 hmm::backward<Posit<64, 18>>(m, jobs[i].obs,
+                                              hmm::Reduction::Tree)
+                     .likelihood)))
+            << i;
+        // The log accelerator backward is the n-ary LSE dataflow.
+        EXPECT_TRUE(lg[i].value ==
+                    RealTraits<LogDouble>::toBigFloat(
+                        hmm::backwardLogNary(m, jobs[i].obs)
+                            .likelihood))
+            << i;
+        EXPECT_TRUE(lg32[i].value ==
+                    RealTraits<LogFloat>::toBigFloat(
+                        hmm::backwardLogNary32(m, jobs[i].obs)
+                            .likelihood))
+            << i;
+        EXPECT_TRUE(oracle[i] ==
+                    hmm::backward<ScaledDD>(m, jobs[i].obs)
+                        .likelihood.toBigFloat())
+            << i;
+        // Backward and forward oracles agree on P(O).
+        const BigFloat fwd =
+            hmm::forwardOracle(m, jobs[i].obs).likelihood.toBigFloat();
+        EXPECT_LT(accuracy::relErrLog10(fwd, oracle[i]), -25.0) << i;
+    }
+}
+
+TEST(EvalEngine, OracleDecodeBatchesMatchSerial)
+{
+    EvalEngine engine(4);
+    const auto jobs = decodeJobs();
+    const auto gammas = engine.posteriorOracleBatch(jobs);
+    const auto paths = engine.viterbiOracleBatch(jobs);
+    ASSERT_EQ(gammas.size(), jobs.size());
+    ASSERT_EQ(paths.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const auto serial =
+            hmm::posterior<ScaledDD>(*jobs[i].model, jobs[i].obs);
+        ASSERT_EQ(gammas[i].size(), serial.gamma.size());
+        for (size_t k = 0; k < serial.gamma.size(); ++k)
+            ASSERT_TRUE(gammas[i][k] ==
+                        serial.gamma[k].toBigFloat());
+        EXPECT_EQ(paths[i],
+                  hmm::viterbi<ScaledDD>(*jobs[i].model, jobs[i].obs)
+                      .path);
+    }
+}
+
+TEST(EnvParsing, ParseLongValidatesTheFullString)
+{
+    EXPECT_EQ(parseLong("8"), 8);
+    EXPECT_EQ(parseLong("  16"), 16); // strtol-style leading space
+    EXPECT_EQ(parseLong("-3"), -3);
+    EXPECT_FALSE(parseLong(nullptr).has_value());
+    EXPECT_FALSE(parseLong("").has_value());
+    EXPECT_FALSE(parseLong("8x").has_value());
+    EXPECT_FALSE(parseLong("4 ").has_value());
+    EXPECT_FALSE(parseLong("threads").has_value());
+    EXPECT_FALSE(
+        parseLong("99999999999999999999999999").has_value());
+}
+
+TEST(EnvParsing, ParseBoolAcceptsIntegersAndTokens)
+{
+    EXPECT_EQ(parseBool("1"), true);
+    EXPECT_EQ(parseBool("0"), false);
+    EXPECT_EQ(parseBool("42"), true);
+    EXPECT_EQ(parseBool("true"), true);
+    EXPECT_EQ(parseBool("YES"), true);
+    EXPECT_EQ(parseBool("On"), true);
+    EXPECT_EQ(parseBool("false"), false);
+    EXPECT_EQ(parseBool("no"), false);
+    EXPECT_EQ(parseBool("OFF"), false);
+    // Leading whitespace is accepted on both paths (strtol-style).
+    EXPECT_EQ(parseBool(" 1"), true);
+    EXPECT_EQ(parseBool(" true"), true);
+    EXPECT_FALSE(parseBool(nullptr).has_value());
+    EXPECT_FALSE(parseBool("").has_value());
+    EXPECT_FALSE(parseBool("1x").has_value());
+    EXPECT_FALSE(parseBool("yess").has_value());
+}
+
+TEST(EvalEngine, ThreadOverrideParsedStrictly)
+{
+    // A valid override pins the lane count.
+    ASSERT_EQ(setenv("PSTAT_THREADS", "3", 1), 0);
+    {
+        EvalEngine engine;
+        EXPECT_EQ(engine.threadCount(), 3u);
+    }
+    // Trailing garbage is rejected: the engine falls back to
+    // hardware concurrency instead of silently reading "2".
+    ASSERT_EQ(setenv("PSTAT_THREADS", "2zz", 1), 0);
+    {
+        EvalEngine engine;
+        unsigned fallback = std::thread::hardware_concurrency();
+        if (fallback == 0)
+            fallback = 1;
+        EXPECT_EQ(engine.threadCount(), fallback);
+    }
+    ASSERT_EQ(unsetenv("PSTAT_THREADS"), 0);
+}
+
+TEST(AccuracyTally, PositiveRangeFloorClassifiesUnderflows)
+{
+    // Regression: the old predicate (`range_floor_ < 0.0`) silently
+    // ignored positive floors even though the constructor documents
+    // "0 disables". A floor of +10 must classify any sample whose
+    // oracle magnitude is below 2^10 as an underflow.
+    AccuracyTally tally("positive-floor", 10.0);
+    EvalResult accurate;
+    accurate.value = BigFloat::fromDouble(8.0);
+    EXPECT_EQ(tally.add(BigFloat::fromDouble(8.0), accurate),
+              AccuracyTally::Outcome::Underflow);
+    EXPECT_EQ(tally.underflows(), 1);
+
+    EvalResult big;
+    big.value = BigFloat::fromDouble(4096.0);
+    EXPECT_EQ(tally.add(BigFloat::fromDouble(4096.0), big),
+              AccuracyTally::Outcome::Recorded);
+    EXPECT_EQ(tally.underflows(), 1);
+}
+
+TEST(AccuracyTally, ZeroFloorDisablesTheRangeCheck)
+{
+    AccuracyTally tally("no-floor", 0.0);
+    EvalResult deep;
+    const BigFloat oracle = BigFloat::twoPow(-100000);
+    deep.value = oracle * BigFloat::fromDouble(1.0 + 1e-12);
+    EXPECT_EQ(tally.add(oracle, deep),
+              AccuracyTally::Outcome::Recorded);
+    EXPECT_EQ(tally.underflows(), 0);
+}
+
+TEST(AccuracyTally, WorstLog10IsEmptyWithoutHugeErrors)
+{
+    AccuracyTally tally("opt", 0.0);
+    EXPECT_FALSE(tally.worstLog10().has_value());
+
+    const BigFloat oracle = BigFloat::fromDouble(0.5);
+    EvalResult good;
+    good.value = oracle * BigFloat::fromDouble(1.0 + 1e-12);
+    tally.add(oracle, good);
+    EXPECT_FALSE(tally.worstLog10().has_value());
+
+    EvalResult off;
+    off.value = oracle * BigFloat::fromDouble(100.0);
+    EXPECT_EQ(tally.add(oracle, off),
+              AccuracyTally::Outcome::HugeError);
+    ASSERT_TRUE(tally.worstLog10().has_value());
+    EXPECT_NEAR(*tally.worstLog10(), 2.0, 0.05);
 }
 
 TEST(AccuracyTally, ClassifiesLikeTheFigure9Bookkeeping)
