@@ -31,6 +31,25 @@ lofreqOracle(const pbd::ColumnDataset &dataset,
     return engine.pvalueOracleBatch(dataset.columns);
 }
 
+ScreenedPValues
+lofreqPValuesScreened(const engine::FormatOps &format,
+                      const pbd::ColumnDataset &dataset,
+                      engine::EvalEngine &engine,
+                      const pbd::ScreenConfig &config,
+                      engine::SumPolicy sum)
+{
+    return engine.pvalueScreenedBatch(format, dataset.columns,
+                                      config, sum);
+}
+
+size_t
+lofreqFalseSkips(const ScreenedPValues &screened,
+                 const std::vector<BigFloat> &oracle)
+{
+    return pbd::countFalseSkips(screened.skipped, oracle,
+                                screened.config.threshold_log2);
+}
+
 std::vector<bool>
 callVariants(const std::vector<BigFloat> &pvalues)
 {

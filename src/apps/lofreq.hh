@@ -13,6 +13,12 @@
  * through the engine: the FormatOps overloads evaluate whole
  * datasets on the EvalEngine worker pool, one column per work item,
  * with results in column order (bit-identical to the scalar path).
+ *
+ * lofreqPValuesScreened is the production-style fast path: the
+ * Cramér–Chernoff estimate screens every column first and the exact
+ * O(N*K) dynamic program runs only on columns near the call
+ * threshold (pbd/screen.hh), with per-dataset screening stats and a
+ * false-skip audit against the oracle (lofreqFalseSkips).
  */
 
 #ifndef PSTAT_APPS_LOFREQ_HH
@@ -25,6 +31,7 @@
 #include "engine/eval_engine.hh"
 #include "pbd/dataset.hh"
 #include "pbd/pbd.hh"
+#include "pbd/screen.hh"
 
 namespace pstat::apps
 {
@@ -71,6 +78,39 @@ lofreqPValues(const engine::FormatOps &format,
               const pbd::ColumnDataset &dataset,
               engine::EvalEngine &engine,
               engine::SumPolicy sum = engine::defaultSumPolicy());
+
+/**
+ * One dataset's screened evaluation (two-stage pipeline of
+ * pbd/screen.hh): exact-DP results where the screen dispatched the
+ * DP, magnitude placeholders where it skipped, plus the skip mask,
+ * per-column estimates, and screening stats.
+ */
+using ScreenedPValues = engine::ScreenedPValueBatch;
+
+/**
+ * Evaluate every column through the screened two-stage pipeline:
+ * the O(N) Cramér–Chernoff estimate everywhere, the exact O(N*K)
+ * DP only on columns within the screen's guard band of the call
+ * threshold. Evaluated columns are bit-identical to the unscreened
+ * lofreqPValues slot. The default config anchors the screen at the
+ * LoFreq 2^-200 call threshold with a 64-bit guard band.
+ */
+ScreenedPValues
+lofreqPValuesScreened(const engine::FormatOps &format,
+                      const pbd::ColumnDataset &dataset,
+                      engine::EvalEngine &engine,
+                      const pbd::ScreenConfig &config = {},
+                      engine::SumPolicy sum =
+                          engine::defaultSumPolicy());
+
+/**
+ * False-skip audit of a screened evaluation against oracle
+ * p-values (column order must match): the number of skipped
+ * columns whose true p-value was below the screen's threshold —
+ * i.e. variant calls the screen would have missed.
+ */
+size_t lofreqFalseSkips(const ScreenedPValues &screened,
+                        const std::vector<BigFloat> &oracle);
 
 /** Oracle p-values for every column. */
 std::vector<BigFloat> lofreqOracle(const pbd::ColumnDataset &dataset);

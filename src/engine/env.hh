@@ -2,8 +2,8 @@
  * @file
  * Strict parsing of the engine's environment knobs.
  *
- * The engine reads PSTAT_THREADS and PSTAT_COMPENSATED from the
- * environment. std::atol-style parsing silently accepts trailing
+ * The engine reads PSTAT_THREADS, PSTAT_GRAIN, and PSTAT_COMPENSATED
+ * from the environment. std::atol-style parsing silently accepts trailing
  * garbage ("8x" becomes 8) and saturates out-of-range values, which
  * turns a typo into a misconfigured run with no diagnostic. The
  * helpers here validate the full string and report failure as an

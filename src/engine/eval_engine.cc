@@ -25,7 +25,7 @@ constexpr long max_thread_override = 1024;
 
 } // namespace
 
-EvalEngine::EvalEngine(unsigned num_threads)
+EvalEngine::EvalEngine(unsigned num_threads, size_t grain)
 {
     if (num_threads == 0) {
         if (const char *env = std::getenv("PSTAT_THREADS")) {
@@ -38,9 +38,18 @@ EvalEngine::EvalEngine(unsigned num_threads)
                              "pstat: ignoring invalid PSTAT_THREADS="
                              "\"%s\" (want a positive integer)\n",
                              env);
+            } else if (*parsed > max_thread_override) {
+                // The clamp gets the same observability as the
+                // garbage-input path: a silently reduced lane count
+                // is indistinguishable from a scheduler bug.
+                std::fprintf(stderr,
+                             "pstat: clamping PSTAT_THREADS=%ld to "
+                             "%ld lanes\n",
+                             *parsed, max_thread_override);
+                num_threads =
+                    static_cast<unsigned>(max_thread_override);
             } else {
-                num_threads = static_cast<unsigned>(
-                    std::min(*parsed, max_thread_override));
+                num_threads = static_cast<unsigned>(*parsed);
             }
         }
     }
@@ -50,6 +59,22 @@ EvalEngine::EvalEngine(unsigned num_threads)
             num_threads = 1;
     }
     lanes_ = num_threads;
+
+    grain_override_ = grain;
+    if (grain_override_ == 0) {
+        if (const char *env = std::getenv("PSTAT_GRAIN")) {
+            const auto parsed = parseLong(env);
+            if (!parsed || *parsed <= 0) {
+                std::fprintf(stderr,
+                             "pstat: ignoring invalid PSTAT_GRAIN="
+                             "\"%s\" (want a positive integer)\n",
+                             env);
+            } else {
+                grain_override_ = static_cast<size_t>(*parsed);
+            }
+        }
+    }
+
     workers_.reserve(num_threads - 1);
     for (unsigned i = 1; i < num_threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -64,6 +89,49 @@ EvalEngine::~EvalEngine()
     work_cv_.notify_all();
     for (auto &worker : workers_)
         worker.join();
+}
+
+/**
+ * Claim the next chunk of [begin, end) indices under one mutex
+ * acquisition; false when the batch is drained.
+ */
+bool
+EvalEngine::claimChunk(size_t &begin, size_t &end)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (next_ >= total_)
+        return false;
+    begin = next_;
+    const size_t room = total_ - begin;
+    end = begin + (batch_grain_ < room ? batch_grain_ : room);
+    next_ = end;
+    return true;
+}
+
+/**
+ * One lane's share of the running batch: claim chunks until the
+ * batch drains. An exception from fn records the first error and
+ * drains the batch (the remaining items of the faulted chunk are
+ * abandoned along with every unclaimed chunk, exactly like the old
+ * per-index claiming abandoned the unclaimed indices).
+ */
+void
+EvalEngine::drainChunks(const std::function<void(size_t)> &fn)
+{
+    size_t begin = 0;
+    size_t end = 0;
+    while (claimChunk(begin, end)) {
+        try {
+            for (size_t i = begin; i < end; ++i)
+                fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+            // Drain the batch so everyone can finish.
+            next_ = total_;
+        }
+    }
 }
 
 void
@@ -84,24 +152,7 @@ EvalEngine::workerLoop()
             job = job_;
             ++in_flight_;
         }
-        for (;;) {
-            size_t i;
-            {
-                std::lock_guard<std::mutex> lock(mutex_);
-                if (next_ >= total_)
-                    break;
-                i = next_++;
-            }
-            try {
-                (*job)(i);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(mutex_);
-                if (!first_error_)
-                    first_error_ = std::current_exception();
-                // Drain the batch so everyone can finish.
-                next_ = total_;
-            }
-        }
+        drainChunks(*job);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --in_flight_;
@@ -133,29 +184,14 @@ EvalEngine::runBatch(size_t n, const std::function<void(size_t)> &fn)
         job_ = &fn;
         next_ = 0;
         total_ = n;
+        batch_grain_ = grainForBatch(n);
         first_error_ = nullptr;
         ++epoch_;
     }
     work_cv_.notify_all();
 
     // The calling thread is a lane too.
-    for (;;) {
-        size_t i;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (next_ >= total_)
-                break;
-            i = next_++;
-        }
-        try {
-            fn(i);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (!first_error_)
-                first_error_ = std::current_exception();
-            next_ = total_;
-        }
-    }
+    drainChunks(fn);
 
     std::unique_lock<std::mutex> lock(mutex_);
     done_cv_.wait(lock, [&] { return in_flight_ == 0; });
@@ -186,6 +222,42 @@ EvalEngine::pvalueOracleBatch(std::span<const pbd::Column> columns)
         out[i] = pbd::pvalueOracle(columns[i].success_probs,
                                    columns[i].k)
                      .toBigFloat();
+    });
+    return out;
+}
+
+ScreenedPValueBatch
+EvalEngine::pvalueScreenedBatch(const FormatOps &format,
+                                std::span<const pbd::Column> columns,
+                                const pbd::ScreenConfig &config,
+                                SumPolicy sum)
+{
+    ScreenedPValueBatch out;
+    out.config = config;
+
+    // Stage 1: the O(N) estimate on every column, over the pool.
+    out.estimates_log2.resize(columns.size());
+    parallelFor(columns.size(), [&](size_t i) {
+        out.estimates_log2[i] = pbd::pvalueLog2Estimate(
+            columns[i].success_probs, columns[i].k);
+    });
+
+    auto decisions = pbd::applyScreen(out.estimates_log2, config);
+    out.skipped = std::move(decisions.skip);
+    out.stats = decisions.stats;
+
+    // Stage 2: the exact O(N*K) DP only where the screen demands
+    // it. Skipped slots get a magnitude placeholder (their estimate
+    // is finite: -inf and deeply negative estimates never skip).
+    out.results.resize(columns.size());
+    parallelFor(columns.size(), [&](size_t i) {
+        if (out.skipped[i]) {
+            out.results[i].value = BigFloat::twoPow(
+                std::llround(out.estimates_log2[i]));
+            return;
+        }
+        out.results[i] = format.pbdPValue(columns[i].success_probs,
+                                          columns[i].k, sum);
     });
     return out;
 }

@@ -5,12 +5,16 @@
  * The accuracy figures evaluate thousands of independent work items
  * (alignment columns, HMM sequences) per format; the seed ran them
  * one nested loop at a time. EvalEngine owns a persistent worker
- * pool and evaluates whole batches — p-values and the full HMM
- * kernel family (forward, backward, posterior marginals, Viterbi),
- * each with its ScaledDD oracle batch — through the type-erased
- * FormatOps interface, writing each item's result into its own slot,
- * so the batched output is bit-identical to the serial per-item
- * loops, just computed on every core. AccuracyTally then folds results against
+ * pool and evaluates whole batches — p-values (exact and screened,
+ * see pbd/screen.hh) and the full HMM kernel family (forward,
+ * backward, posterior marginals, Viterbi), each with its ScaledDD
+ * oracle batch — through the type-erased FormatOps interface,
+ * writing each item's result into its own slot, so the batched
+ * output is bit-identical to the serial per-item loops, just
+ * computed on every core. Lanes claim work in chunks of consecutive
+ * indices (auto-sized, PSTAT_GRAIN overridable) rather than one
+ * index per mutex acquisition, so 100k-item batches do not serialize
+ * on the work mutex. AccuracyTally then folds results against
  * oracle values serially (deterministic order) using the
  * core/accuracy.hh measurement, replacing the per-format tally code
  * that was copy-pasted across the benches.
@@ -29,6 +33,7 @@
 
 #include "engine/format_registry.hh"
 #include "pbd/dataset.hh"
+#include "pbd/screen.hh"
 #include "stats/summary.hh"
 
 namespace pstat::engine
@@ -44,6 +49,28 @@ struct ForwardJob
     std::span<const int> obs;          //!< observation sequence
 };
 
+/**
+ * One screened p-value batch: the two-stage pipeline of
+ * pbd/screen.hh evaluated over the engine. Columns the screen
+ * evaluated carry the format's exact DP result, bit-identical to the
+ * unscreened pvalueBatch slot; skipped columns carry only an
+ * order-of-magnitude placeholder (2^round(estimate)) — consult the
+ * skipped mask before trusting a value.
+ */
+struct ScreenedPValueBatch
+{
+    /** Per-column results (placeholder-valued where skipped). */
+    std::vector<EvalResult> results;
+    /** 1 where the exact DP was skipped, 0 where it ran. */
+    std::vector<uint8_t> skipped;
+    /** Per-column pvalueLog2Estimate values, in column order. */
+    std::vector<double> estimates_log2;
+    /** The screen configuration the batch was evaluated under. */
+    pbd::ScreenConfig config;
+    /** Screening tallies (skips, DP dispatches, guard-band hits). */
+    pbd::ScreenStats stats;
+};
+
 /** A persistent worker pool evaluating kernel batches. */
 class EvalEngine
 {
@@ -53,8 +80,15 @@ class EvalEngine
      *        environment override when set, else
      *        std::thread::hardware_concurrency(). The calling thread
      *        also participates, so 1 means no extra threads.
+     * @param grain scheduling grain: how many consecutive indices a
+     *        lane claims per work-mutex acquisition. 0 (the default)
+     *        picks the PSTAT_GRAIN environment override when set,
+     *        else auto-sizes per batch to max(1, n / (lanes * 8)) —
+     *        about eight chunks per lane, so a 100k-item batch takes
+     *        hundreds of mutex acquisitions instead of 100k. Grain 1
+     *        reproduces the old per-index claiming exactly.
      */
-    explicit EvalEngine(unsigned num_threads = 0);
+    explicit EvalEngine(unsigned num_threads = 0, size_t grain = 0);
     /** Drains the pool and joins every worker. */
     ~EvalEngine();
 
@@ -63,6 +97,21 @@ class EvalEngine
 
     /** Total evaluation lanes (workers + the calling thread). */
     unsigned threadCount() const { return lanes_; }
+
+    /**
+     * The scheduling grain an n-item batch would run with: the
+     * constructor/PSTAT_GRAIN override when set, else the auto size
+     * max(1, n / (lanes * 8)). Exposed so the grain resolution is
+     * testable and benches can report it.
+     */
+    size_t
+    grainForBatch(size_t n) const
+    {
+        if (grain_override_ != 0)
+            return grain_override_;
+        const size_t auto_grain = n / (size_t{lanes_} * 8);
+        return auto_grain == 0 ? 1 : auto_grain;
+    }
 
     /**
      * Run fn(i) for every i in [0, n), distributed over the pool.
@@ -87,6 +136,22 @@ class EvalEngine
     /** Oracle (ScaledDD) p-values of every column. */
     std::vector<BigFloat>
     pvalueOracleBatch(std::span<const pbd::Column> columns);
+
+    /**
+     * Two-stage screened p-values of every column: the O(N)
+     * Cramér–Chernoff estimate runs on every column (over the
+     * pool), then the exact Listing-2 DP only on columns whose
+     * estimated log2 tail falls within the screen's guard band of
+     * the threshold (pbd/screen.hh has the decision logic). On
+     * every evaluated column the result is bit-identical to the
+     * corresponding pvalueBatch slot; skipped columns carry an
+     * order-of-magnitude placeholder and skipped[i] = 1.
+     */
+    ScreenedPValueBatch
+    pvalueScreenedBatch(const FormatOps &format,
+                        std::span<const pbd::Column> columns,
+                        const pbd::ScreenConfig &config = {},
+                        SumPolicy sum = defaultSumPolicy());
 
     /** Forward likelihood of every job, in job order. */
     std::vector<EvalResult>
@@ -140,8 +205,11 @@ class EvalEngine
   private:
     void workerLoop();
     void runBatch(size_t n, const std::function<void(size_t)> &fn);
+    bool claimChunk(size_t &begin, size_t &end);
+    void drainChunks(const std::function<void(size_t)> &fn);
 
     unsigned lanes_ = 1;
+    size_t grain_override_ = 0; //!< 0 = auto-size per batch
     std::vector<std::thread> workers_;
 
     std::mutex mutex_;
@@ -150,6 +218,7 @@ class EvalEngine
     const std::function<void(size_t)> *job_ = nullptr;
     size_t next_ = 0;
     size_t total_ = 0;
+    size_t batch_grain_ = 1; //!< resolved grain of the running batch
     size_t in_flight_ = 0;
     uint64_t epoch_ = 0;
     bool stop_ = false;

@@ -142,6 +142,17 @@ std::vector<DatasetStats> makePaperDatasetStats(int columns_per_dataset,
 double estimateLog2PValue(const Column &column);
 
 /**
+ * Target p-value magnitude (bits below 1.0, i.e. p ~ 2^-bits) of
+ * one variant column, drawn to match the paper's critical-column
+ * spectrum. The bands: 60% shallow-critical in [220, 1074) bits
+ * (above 2^-1074), 35% in [1074, 10000), 4.5% log-uniform in
+ * [1e4, 1e5), and 0.5% log-uniform in [1e5, 4.4e5] — which is
+ * exactly "40% of variant columns below 2^-1,074 and 5% below
+ * 2^-10,000, minimum near 2^-434,916" as the paper reports.
+ */
+double drawTargetBits(stats::Rng &rng);
+
+/**
  * Synthesize a single variant column whose p-value magnitude lands
  * near 2^-target_bits. Used by the Figure 9 bench to guarantee
  * coverage of every magnitude bin.

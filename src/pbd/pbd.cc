@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <complex>
+#include <limits>
 
 namespace pstat::pbd
 {
@@ -48,10 +49,14 @@ pvalueLog2Estimate(std::span<const double> success_probs,
                    int k_threshold)
 {
     if (k_threshold <= 0)
-        return 0.0; // log2(1)
+        return 0.0; // P(X >= 0) = 1, log2 = 0 (empty span included)
     const double n = static_cast<double>(success_probs.size());
+    // More successes than trials — including any K > 0 over an empty
+    // span — is impossible: P(X >= K) = 0, whose log2 is -infinity.
+    // (This used to leak a -1.0e9 magic sentinel, the same class of
+    // bug as AccuracyTally::worstLog10's old sentinel.)
     if (n <= 0.0 || k_threshold > static_cast<int>(n))
-        return -1.0e9;
+        return -std::numeric_limits<double>::infinity();
     double mu = 0.0;
     for (double p : success_probs)
         mu += p;

@@ -181,9 +181,14 @@ double pvalueDftCf(std::span<const double> success_probs,
  * large-deviation rate -N*H(K/N || mu/N) (relative entropy) plus a
  * Gaussian prefactor. Used by variant callers as a pre-filter
  * before the exact O(N*K) dynamic program: columns whose estimated
- * tail is far above the significance threshold can skip the DP.
+ * tail is far above the significance threshold can skip the DP
+ * (see pbd/screen.hh for the screening pipeline built on it).
  * Accurate to a few percent of the log across both the CLT and the
  * deep-tail regimes.
+ *
+ * Edge cases: K <= 0 returns 0 (P(X >= 0) = 1 — even for an empty
+ * span); K > N — including any K > 0 over an empty span — returns
+ * -infinity, the honest log2 of the impossible event P(X >= K) = 0.
  */
 double pvalueLog2Estimate(std::span<const double> success_probs,
                           int k_threshold);

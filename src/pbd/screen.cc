@@ -1,0 +1,64 @@
+#include "pbd/screen.hh"
+
+#include <stdexcept>
+
+#include "pbd/pbd.hh"
+
+namespace pstat::pbd
+{
+
+ScreenDecisions
+applyScreen(std::span<const double> estimates_log2,
+            const ScreenConfig &config)
+{
+    ScreenDecisions out;
+    out.skip.resize(estimates_log2.size(), 0);
+    out.stats.columns = estimates_log2.size();
+    for (size_t i = 0; i < estimates_log2.size(); ++i) {
+        if (screenSkips(estimates_log2[i], config)) {
+            out.skip[i] = 1;
+            ++out.stats.skipped;
+            continue;
+        }
+        ++out.stats.evaluated;
+        if (screenGuardHit(estimates_log2[i], config))
+            ++out.stats.guard_band_hits;
+    }
+    return out;
+}
+
+std::vector<double>
+screenEstimates(std::span<const Column> columns)
+{
+    std::vector<double> out;
+    out.reserve(columns.size());
+    for (const auto &col : columns)
+        out.push_back(pvalueLog2Estimate(col.success_probs, col.k));
+    return out;
+}
+
+size_t
+countFalseSkips(std::span<const uint8_t> skipped,
+                std::span<const BigFloat> oracle,
+                double threshold_log2)
+{
+    // Silently truncating to the shorter span would make the audit
+    // vacuously clean on exactly the caller bug it exists to catch
+    // (an oracle vector from a different or truncated dataset).
+    if (skipped.size() != oracle.size())
+        throw std::invalid_argument(
+            "countFalseSkips: skip mask and oracle sizes differ");
+    size_t out = 0;
+    for (size_t i = 0; i < skipped.size(); ++i) {
+        if (!skipped[i])
+            continue;
+        const BigFloat &p = oracle[i];
+        if (!p.isFinite())
+            continue;
+        if (p.isZero() || p.log2Abs() < threshold_log2)
+            ++out;
+    }
+    return out;
+}
+
+} // namespace pstat::pbd

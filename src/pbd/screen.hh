@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Two-stage screened p-value pipeline: estimate, then exact DP.
+ *
+ * The variant-calling workload spends almost all of its time in the
+ * exact O(N*K) Listing-2 dynamic program, yet the vast majority of
+ * alignment columns are nowhere near the 2^-200 call threshold. The
+ * screening stage runs the O(N) Cramér–Chernoff estimate
+ * (pbd::pvalueLog2Estimate) on every column first and dispatches the
+ * exact DP only on columns whose estimated log2 tail falls within a
+ * configurable guard band of the threshold; everything clearly above
+ * the band is skipped. This is the estimate-then-refine staging of
+ * Sussman et al. (statistical/computational tradeoffs of estimation
+ * procedures) applied to the paper's LoFreq workload.
+ *
+ * The estimate is deliberately conservative (a few percent of the
+ * log); the guard band absorbs its error. Columns the screen does
+ * evaluate go through the unmodified DP, so screened results are
+ * bit-identical to the unscreened batch on every evaluated column.
+ * ScreenStats records what the screen did, and countFalseSkips
+ * audits the skip decisions against oracle p-values: a false skip is
+ * a skipped column whose true p-value was below the threshold after
+ * all (i.e. a missed variant call).
+ */
+
+#ifndef PSTAT_PBD_SCREEN_HH
+#define PSTAT_PBD_SCREEN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bigfloat/bigfloat.hh"
+#include "pbd/dataset.hh"
+
+namespace pstat::pbd
+{
+
+/** Configuration of the screening stage. */
+struct ScreenConfig
+{
+    /**
+     * log2 of the significance threshold the caller will apply to
+     * the exact p-values (LoFreq calls a variant at p < 2^-200).
+     */
+    double threshold_log2 = -200.0;
+
+    /**
+     * Width of the guard band, in bits above the threshold. A column
+     * is skipped only when its estimated log2 tail is above
+     * threshold_log2 + guard_band_log2; estimates inside the band
+     * still run the exact DP, absorbing the estimate's error. 0
+     * trusts the estimate exactly at the threshold; larger bands
+     * trade speedup for a smaller false-skip risk.
+     */
+    double guard_band_log2 = 64.0;
+};
+
+/** Per-dataset bookkeeping of what the screening stage did. */
+struct ScreenStats
+{
+    size_t columns = 0;   //!< columns screened in total
+    size_t skipped = 0;   //!< skipped: clearly above threshold + band
+    size_t evaluated = 0; //!< exact DP dispatched
+    /**
+     * Evaluated columns whose estimate landed inside the guard band
+     * (above the threshold but not above threshold + band): the
+     * columns that only the band saved from being skipped. A high
+     * hit count with zero false skips means the band is doing its
+     * job; zero hits means it could be narrowed.
+     */
+    size_t guard_band_hits = 0;
+};
+
+/**
+ * true when the estimated log2 tail says the column is clearly
+ * insignificant: above threshold + guard band, so the exact DP can
+ * be skipped. (-infinity estimates — impossible events and deeply
+ * critical columns — never skip.)
+ */
+inline bool
+screenSkips(double estimate_log2, const ScreenConfig &config)
+{
+    return estimate_log2 >
+           config.threshold_log2 + config.guard_band_log2;
+}
+
+/**
+ * true when the estimate lies inside the guard band: above the
+ * threshold (so a perfectly trusted estimate would have skipped) but
+ * within the band (so the exact DP still runs).
+ */
+inline bool
+screenGuardHit(double estimate_log2, const ScreenConfig &config)
+{
+    return estimate_log2 > config.threshold_log2 &&
+           !screenSkips(estimate_log2, config);
+}
+
+/** Screening decisions of one batch, with their bookkeeping. */
+struct ScreenDecisions
+{
+    /** 1 when the exact DP is skipped for that column, else 0. */
+    std::vector<uint8_t> skip;
+    ScreenStats stats; //!< tallies over the whole batch
+};
+
+/**
+ * Apply the screen to precomputed per-column estimates (one
+ * pvalueLog2Estimate value per column, in column order). Pure
+ * decision logic — callers that parallelize the estimation stage
+ * (EvalEngine::pvalueScreenedBatch) share it with the serial path.
+ */
+ScreenDecisions applyScreen(std::span<const double> estimates_log2,
+                            const ScreenConfig &config);
+
+/** Per-column pvalueLog2Estimate of a batch, serially. */
+std::vector<double>
+screenEstimates(std::span<const Column> columns);
+
+/**
+ * False-skip audit: the number of skipped columns whose exact
+ * (oracle) p-value is below the threshold — variants the screen
+ * would have missed. oracle holds exact p-values in column order
+ * and must be the same length as the skip mask (throws
+ * std::invalid_argument otherwise — a truncated oracle would make
+ * the audit vacuously clean); NaN oracle entries are ignored, exact
+ * zeros count as below any threshold.
+ */
+size_t countFalseSkips(std::span<const uint8_t> skipped,
+                       std::span<const BigFloat> oracle,
+                       double threshold_log2);
+
+} // namespace pstat::pbd
+
+#endif // PSTAT_PBD_SCREEN_HH

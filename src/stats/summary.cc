@@ -1,7 +1,6 @@
 #include "stats/summary.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace pstat::stats
@@ -12,7 +11,14 @@ percentile(const std::vector<double> &sorted_values, double q)
 {
     if (sorted_values.empty())
         return 0.0;
-    assert(q >= 0.0 && q <= 1.0);
+    // An out-of-range q used to be an NDEBUG-stripped assert, so
+    // release builds indexed out of bounds; clamp instead. Not
+    // std::clamp: that returns NaN for a NaN q (both comparisons
+    // are false), which would reintroduce the out-of-bounds index.
+    if (!(q >= 0.0))
+        q = 0.0; // negative or NaN
+    else if (q > 1.0)
+        q = 1.0;
     const double pos = q * static_cast<double>(sorted_values.size() - 1);
     const size_t lo = static_cast<size_t>(std::floor(pos));
     const size_t hi = static_cast<size_t>(std::ceil(pos));
@@ -24,6 +30,14 @@ BoxStats
 boxStats(std::vector<double> values)
 {
     BoxStats out;
+    // NaNs violate the strict weak ordering std::sort requires, so
+    // one NaN sample can scramble the whole array and poison every
+    // quantile; partition them out first. count reports the samples
+    // actually summarized.
+    values.erase(std::remove_if(
+                     values.begin(), values.end(),
+                     [](double v) { return std::isnan(v); }),
+                 values.end());
     out.count = values.size();
     if (values.empty())
         return out;

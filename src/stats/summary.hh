@@ -33,11 +33,18 @@ struct BoxStats
  * Linear-interpolated percentile of a sample set.
  *
  * @param sorted_values samples sorted ascending
- * @param q quantile in [0, 1]
+ * @param q quantile, clamped to [0, 1]; NaN clamps to 0
+ *        (out-of-range values used to hit an NDEBUG-stripped assert
+ *        and index out of bounds in release builds)
  */
 double percentile(const std::vector<double> &sorted_values, double q);
 
-/** Compute the five-number summary (sorts a copy of the input). */
+/**
+ * Compute the five-number summary (sorts a copy of the input). NaN
+ * samples are dropped before sorting — they break the sort's strict
+ * weak ordering and would poison every quantile — and count reports
+ * only the non-NaN samples summarized.
+ */
 BoxStats boxStats(std::vector<double> values);
 
 /** Arithmetic mean; 0 for empty input. */

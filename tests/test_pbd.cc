@@ -5,6 +5,7 @@
  * agreement, and the column-dataset generator's magnitude spectrum.
  */
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -280,6 +281,30 @@ TEST(PbdChernoffEstimate, EdgeBehaviour)
     }
 }
 
+TEST(PbdChernoffEstimate, ImpossibleEventIsMinusInfinity)
+{
+    // Regression: K > N used to leak a -1.0e9 magic sentinel. The
+    // honest value of log2 P(X >= K) for an impossible event is
+    // -infinity — matching the exact DP, which returns 0.
+    std::vector<double> probs = {0.2, 0.4, 0.9};
+    const double above_n = pvalueLog2Estimate(probs, 4);
+    EXPECT_TRUE(std::isinf(above_n));
+    EXPECT_LT(above_n, 0.0);
+    EXPECT_EQ(pvalue<double>(probs, 4), 0.0);
+
+    // Empty span: any K > 0 is impossible too...
+    const std::vector<double> empty;
+    const double empty_tail = pvalueLog2Estimate(empty, 1);
+    EXPECT_TRUE(std::isinf(empty_tail));
+    EXPECT_LT(empty_tail, 0.0);
+    // ...while K <= 0 is certain (P(X >= 0) = 1, log2 = 0), even
+    // over no trials at all.
+    EXPECT_EQ(pvalueLog2Estimate(empty, 0), 0.0);
+    EXPECT_EQ(pvalueLog2Estimate(empty, -2), 0.0);
+    EXPECT_EQ(pvalueLog2Estimate(probs, 3),
+              pvalueLog2Estimate(probs, 3)); // finite, not NaN
+}
+
 TEST(PbdChernoffEstimate, UsableAsPreFilter)
 {
     // The pre-filter must never claim "insignificant" for a truly
@@ -372,6 +397,48 @@ TEST(Dataset, MagnitudeSpectrumMatchesPaperProfile)
         static_cast<double>(below_10000) / critical;
     EXPECT_GT(frac_10000, 0.02);
     EXPECT_LT(frac_10000, 0.12);
+}
+
+TEST(Dataset, TargetBitsBandsMatchDocumentedSpectrum)
+{
+    // drawTargetBits documents four bands: 60% shallow-critical in
+    // [220, 1074), 35% in [1074, 10000), 4.5% log-uniform in
+    // [1e4, 1e5), 0.5% log-uniform in [1e5, 4.4e5] — equivalently
+    // 40% of variant columns below 2^-1074 and 5% below 2^-10000.
+    // Seeded draw over the generator itself keeps the shares honest.
+    stats::Rng rng(97);
+    const int n = 200000;
+    int shallow = 0;
+    int mid = 0;
+    int deep = 0;
+    int deepest = 0;
+    double min_bits = 1.0e300;
+    double max_bits = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double bits = drawTargetBits(rng);
+        min_bits = std::min(min_bits, bits);
+        max_bits = std::max(max_bits, bits);
+        if (bits < 1074.0)
+            ++shallow;
+        else if (bits < 10000.0)
+            ++mid;
+        else if (bits < 100000.0)
+            ++deep;
+        else
+            ++deepest;
+    }
+    const double dn = n;
+    EXPECT_NEAR(shallow / dn, 0.60, 0.01);
+    EXPECT_NEAR(mid / dn, 0.35, 0.01);
+    EXPECT_NEAR(deep / dn, 0.045, 0.005);
+    EXPECT_NEAR(deepest / dn, 0.005, 0.002);
+    // The headline shares: 40% below 2^-1074, 5% below 2^-10000.
+    EXPECT_NEAR((mid + deep + deepest) / dn, 0.40, 0.01);
+    EXPECT_NEAR((deep + deepest) / dn, 0.05, 0.005);
+    // Support bounds of the documented bands.
+    EXPECT_GE(min_bits, 220.0);
+    EXPECT_LE(max_bits, 4.4e5);
+    EXPECT_GT(max_bits, 1.0e5); // the deepest band was exercised
 }
 
 TEST(Dataset, PaperDatasetsDiverse)

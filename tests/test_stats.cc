@@ -186,6 +186,45 @@ TEST(Summary, BoxStatsEmpty)
     EXPECT_EQ(b.median, 0.0);
 }
 
+TEST(Summary, PercentileClampsOutOfRangeQuantile)
+{
+    // Regression: out-of-range q used to be an NDEBUG-stripped
+    // assert, so release builds indexed out of bounds. Clamped now.
+    const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_EQ(percentile(v, -0.5), 1.0);
+    EXPECT_EQ(percentile(v, 1.5), 4.0);
+    EXPECT_EQ(percentile(v, -1e300), 1.0);
+    EXPECT_EQ(percentile(v, 2e9), 4.0);
+    // A NaN q must clamp too (std::clamp would pass NaN through and
+    // reintroduce the out-of-bounds index).
+    EXPECT_EQ(percentile(v, std::nan("")), 1.0);
+}
+
+TEST(Summary, BoxStatsPartitionsOutNaNs)
+{
+    // Regression: NaNs violate std::sort's strict weak ordering —
+    // one NaN could scramble the array and poison every quantile.
+    const double nan = std::nan("");
+    const BoxStats with_nans =
+        boxStats({nan, 3.0, 1.0, nan, 5.0, 2.0, 4.0, nan});
+    const BoxStats clean = boxStats({3.0, 1.0, 5.0, 2.0, 4.0});
+    EXPECT_EQ(with_nans.count, 5u); // only the summarized samples
+    EXPECT_EQ(with_nans.median, clean.median);
+    EXPECT_EQ(with_nans.p5, clean.p5);
+    EXPECT_EQ(with_nans.p25, clean.p25);
+    EXPECT_EQ(with_nans.p75, clean.p75);
+    EXPECT_EQ(with_nans.p95, clean.p95);
+    EXPECT_FALSE(std::isnan(with_nans.median));
+}
+
+TEST(Summary, BoxStatsAllNaNsBehavesLikeEmpty)
+{
+    const double nan = std::nan("");
+    const BoxStats b = boxStats({nan, nan, nan});
+    EXPECT_EQ(b.count, 0u);
+    EXPECT_EQ(b.median, 0.0);
+}
+
 TEST(Summary, CdfFractions)
 {
     Cdf cdf({1.0, 2.0, 3.0, 4.0, 5.0});
