@@ -24,8 +24,23 @@
 #include <string>
 #include <vector>
 
+#include <sys/resource.h>
+
 namespace pstat::bench
 {
+
+/**
+ * Peak resident set size of the process so far, in KiB (ru_maxrss).
+ * Monotone over the process lifetime, so phase-local deltas need a
+ * reading before and after the phase.
+ */
+inline size_t
+peakRssKib()
+{
+    struct rusage usage{};
+    ::getrusage(RUSAGE_SELF, &usage);
+    return static_cast<size_t>(usage.ru_maxrss);
+}
 
 /** Read an integer environment override. */
 inline int

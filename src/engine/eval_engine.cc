@@ -227,19 +227,20 @@ EvalEngine::pvalueOracleBatch(std::span<const pbd::Column> columns)
 }
 
 ScreenedPValueBatch
-EvalEngine::pvalueScreenedBatch(const FormatOps &format,
-                                std::span<const pbd::Column> columns,
-                                const pbd::ScreenConfig &config,
-                                SumPolicy sum)
+EvalEngine::screenedEval(
+    const FormatOps &format, size_t n,
+    const std::function<pbd::ColumnView(size_t)> &column,
+    const pbd::ScreenConfig &config, SumPolicy sum)
 {
     ScreenedPValueBatch out;
     out.config = config;
 
     // Stage 1: the O(N) estimate on every column, over the pool.
-    out.estimates_log2.resize(columns.size());
-    parallelFor(columns.size(), [&](size_t i) {
-        out.estimates_log2[i] = pbd::pvalueLog2Estimate(
-            columns[i].success_probs, columns[i].k);
+    out.estimates_log2.resize(n);
+    parallelFor(n, [&](size_t i) {
+        const pbd::ColumnView view = column(i);
+        out.estimates_log2[i] =
+            pbd::pvalueLog2Estimate(view.success_probs, view.k);
     });
 
     auto decisions = pbd::applyScreen(out.estimates_log2, config);
@@ -249,17 +250,100 @@ EvalEngine::pvalueScreenedBatch(const FormatOps &format,
     // Stage 2: the exact O(N*K) DP only where the screen demands
     // it. Skipped slots get a magnitude placeholder (their estimate
     // is finite: -inf and deeply negative estimates never skip).
-    out.results.resize(columns.size());
-    parallelFor(columns.size(), [&](size_t i) {
+    out.results.resize(n);
+    parallelFor(n, [&](size_t i) {
         if (out.skipped[i]) {
             out.results[i].value = BigFloat::twoPow(
                 std::llround(out.estimates_log2[i]));
             return;
         }
-        out.results[i] = format.pbdPValue(columns[i].success_probs,
-                                          columns[i].k, sum);
+        const pbd::ColumnView view = column(i);
+        out.results[i] =
+            format.pbdPValue(view.success_probs, view.k, sum);
     });
     return out;
+}
+
+ScreenedPValueBatch
+EvalEngine::pvalueScreenedBatch(const FormatOps &format,
+                                std::span<const pbd::Column> columns,
+                                const pbd::ScreenConfig &config,
+                                SumPolicy sum)
+{
+    return screenedEval(
+        format, columns.size(),
+        [&](size_t i) { return columns[i].view(); }, config, sum);
+}
+
+StreamStats
+EvalEngine::pvalueStream(const FormatOps &format,
+                         io::ShardStream &shards,
+                         const ShardResultSink &sink, SumPolicy sum)
+{
+    StreamStats stats;
+    std::vector<EvalResult> results;
+    while (auto shard = shards.next()) {
+        results.resize(shard->size());
+        parallelFor(shard->size(), [&](size_t i) {
+            const pbd::ColumnView view = shard->column(i);
+            results[i] =
+                format.pbdPValue(view.success_probs, view.k, sum);
+        });
+        sink(stats.shards, *shard, results);
+        ++stats.shards;
+        stats.items += shard->size();
+        stats.peak_mapped_bytes =
+            std::max(stats.peak_mapped_bytes, shard->fileBytes());
+    }
+    stats.peak_queue_depth = shards.peakQueueDepth();
+    return stats;
+}
+
+StreamStats
+EvalEngine::pvalueScreenedStream(const FormatOps &format,
+                                 io::ShardStream &shards,
+                                 const ScreenedShardSink &sink,
+                                 const pbd::ScreenConfig &config,
+                                 SumPolicy sum)
+{
+    StreamStats stats;
+    while (auto shard = shards.next()) {
+        const ScreenedPValueBatch batch = screenedEval(
+            format, shard->size(),
+            [&](size_t i) { return shard->column(i); }, config, sum);
+        sink(stats.shards, *shard, batch);
+        ++stats.shards;
+        stats.items += shard->size();
+        stats.peak_mapped_bytes =
+            std::max(stats.peak_mapped_bytes, shard->fileBytes());
+    }
+    stats.peak_queue_depth = shards.peakQueueDepth();
+    return stats;
+}
+
+StreamStats
+EvalEngine::forwardStream(const FormatOps &format,
+                          const hmm::Model &model,
+                          io::ShardStream &shards,
+                          const ShardResultSink &sink,
+                          Dataflow dataflow)
+{
+    StreamStats stats;
+    std::vector<EvalResult> results;
+    while (auto shard = shards.next()) {
+        results.resize(shard->size());
+        parallelFor(shard->size(), [&](size_t i) {
+            results[i] = format.hmmForward(model, shard->sequence(i),
+                                           dataflow);
+        });
+        sink(stats.shards, *shard, results);
+        ++stats.shards;
+        stats.items += shard->size();
+        stats.peak_mapped_bytes =
+            std::max(stats.peak_mapped_bytes, shard->fileBytes());
+    }
+    stats.peak_queue_depth = shards.peakQueueDepth();
+    return stats;
 }
 
 std::vector<EvalResult>

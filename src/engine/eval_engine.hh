@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "engine/format_registry.hh"
+#include "io/shard_stream.hh"
 #include "pbd/dataset.hh"
 #include "pbd/screen.hh"
 #include "stats/summary.hh"
@@ -70,6 +71,34 @@ struct ScreenedPValueBatch
     /** Screening tallies (skips, DP dispatches, guard-band hits). */
     pbd::ScreenStats stats;
 };
+
+/**
+ * Bookkeeping of one streamed evaluation: how much flowed through
+ * the pipeline and how tight its memory bound actually was.
+ */
+struct StreamStats
+{
+    size_t shards = 0; //!< shards evaluated
+    size_t items = 0;  //!< records (columns / sequences) evaluated
+    /** Largest single mapped shard (bytes) — the O(shard) footprint. */
+    size_t peak_mapped_bytes = 0;
+    /** High-water mark of loaded-but-unconsumed shards in the queue. */
+    size_t peak_queue_depth = 0;
+};
+
+/**
+ * Per-shard result delivery of a streamed evaluation. The shard (and
+ * any view into it) is only valid for the duration of the call; the
+ * results span is the shard's records in record order.
+ */
+using ShardResultSink =
+    std::function<void(size_t shard_index, const io::ShardReader &shard,
+                       std::span<const EvalResult> results)>;
+
+/** Per-shard delivery of a streamed screened evaluation. */
+using ScreenedShardSink =
+    std::function<void(size_t shard_index, const io::ShardReader &shard,
+                       const ScreenedPValueBatch &batch)>;
 
 /** A persistent worker pool evaluating kernel batches. */
 class EvalEngine
@@ -153,6 +182,48 @@ class EvalEngine
                         const pbd::ScreenConfig &config = {},
                         SumPolicy sum = defaultSumPolicy());
 
+    /**
+     * Streamed p-value evaluation: pop Columns shards off the
+     * pipeline, evaluate each shard's columns over the worker pool
+     * (zero-copy, straight out of the mapping), and hand each
+     * shard's results to the sink before the shard is unmapped.
+     * Results are bit-identical to pvalueBatch on the same columns;
+     * peak memory is O(shard), bounded by the stream's queue
+     * capacity, never O(dataset).
+     */
+    StreamStats
+    pvalueStream(const FormatOps &format, io::ShardStream &shards,
+                 const ShardResultSink &sink,
+                 SumPolicy sum = defaultSumPolicy());
+
+    /**
+     * Streamed two-stage screened evaluation over Columns shards:
+     * per shard, the estimate stage runs on every column and the
+     * exact DP only inside the guard band, exactly as
+     * pvalueScreenedBatch — each shard's batch (results, skip mask,
+     * estimates, stats) is bit-identical to pvalueScreenedBatch on
+     * that shard's columns. The sink's batch reference is only valid
+     * for the duration of the call.
+     */
+    StreamStats
+    pvalueScreenedStream(const FormatOps &format,
+                         io::ShardStream &shards,
+                         const ScreenedShardSink &sink,
+                         const pbd::ScreenConfig &config = {},
+                         SumPolicy sum = defaultSumPolicy());
+
+    /**
+     * Streamed HMM forward evaluation over Sequences shards: every
+     * record is an observation sequence of the given (borrowed)
+     * model, evaluated over the pool. Results are bit-identical to
+     * forwardBatch on the same sequences.
+     */
+    StreamStats
+    forwardStream(const FormatOps &format, const hmm::Model &model,
+                  io::ShardStream &shards,
+                  const ShardResultSink &sink,
+                  Dataflow dataflow = Dataflow::Accelerator);
+
     /** Forward likelihood of every job, in job order. */
     std::vector<EvalResult>
     forwardBatch(const FormatOps &format,
@@ -203,6 +274,17 @@ class EvalEngine
     viterbiOracleBatch(std::span<const ForwardJob> jobs);
 
   private:
+    /**
+     * The one screened two-stage pipeline (estimate everywhere,
+     * exact DP inside the guard band), over any column accessor —
+     * owned Columns (pvalueScreenedBatch) or mmap-backed views
+     * (pvalueScreenedStream) — so the two paths cannot drift.
+     */
+    ScreenedPValueBatch
+    screenedEval(const FormatOps &format, size_t n,
+                 const std::function<pbd::ColumnView(size_t)> &column,
+                 const pbd::ScreenConfig &config, SumPolicy sum);
+
     void workerLoop();
     void runBatch(size_t n, const std::function<void(size_t)> &fn);
     bool claimChunk(size_t &begin, size_t &end);

@@ -1,0 +1,377 @@
+#include "io/shard.hh"
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace pstat::io
+{
+
+// Sequence payloads store observation symbols as on-disk int32; the
+// in-memory HMM API traffics in spans of int, so serving zero-copy
+// views requires the two to be the same type.
+static_assert(sizeof(int) == 4, "sequence records assume 32-bit int");
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &what)
+{
+    throw ShardError(path + ": " + what);
+}
+
+/** Read a little-endian scalar at an arbitrary (unaligned) offset. */
+template <typename T>
+T
+loadAt(const unsigned char *base, size_t offset)
+{
+    T value;
+    std::memcpy(&value, base + offset, sizeof(T));
+    return value;
+}
+
+} // namespace
+
+uint32_t
+crc32(uint32_t crc, const void *data, size_t len)
+{
+    // IEEE 802.3 (zlib) polynomial, table built once per process.
+    static const auto table = [] {
+        std::vector<uint32_t> t(256);
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    crc ^= 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+// ------------------------------------------------------------ writer
+
+ShardWriter::ShardWriter(std::string path, ShardPayload payload)
+    : path_(std::move(path)), payload_(payload)
+{
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (file_ == nullptr)
+        fail(path_, std::string("cannot open for writing: ") +
+                        std::strerror(errno));
+    // A zeroed placeholder (no magic): a writer that dies before
+    // close() leaves a file no reader will ever validate.
+    const ShardHeader placeholder{};
+    write(&placeholder, sizeof(placeholder));
+    payload_bytes_ = 0; // the header is not payload
+}
+
+ShardWriter::~ShardWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+void
+ShardWriter::write(const void *data, size_t len)
+{
+    assert(file_ != nullptr && "writer already closed");
+    if (std::fwrite(data, 1, len, file_) != len)
+        fail(path_, "write failed");
+}
+
+void
+ShardWriter::add(pbd::ColumnView column)
+{
+    if (payload_ != ShardPayload::Columns)
+        throw std::logic_error(path_ +
+                               ": column record on a non-Columns shard");
+    const auto n = static_cast<uint32_t>(column.success_probs.size());
+    const auto k = static_cast<int32_t>(column.k);
+    const size_t prob_bytes = column.success_probs.size_bytes();
+
+    write(&n, sizeof(n));
+    write(&k, sizeof(k));
+    if (prob_bytes > 0)
+        write(column.success_probs.data(), prob_bytes);
+
+    crc_ = crc32(crc_, &n, sizeof(n));
+    crc_ = crc32(crc_, &k, sizeof(k));
+    crc_ = crc32(crc_, column.success_probs.data(), prob_bytes);
+    payload_bytes_ += sizeof(n) + sizeof(k) + prob_bytes;
+    ++items_;
+}
+
+void
+ShardWriter::addSequence(std::span<const int> obs)
+{
+    if (payload_ != ShardPayload::Sequences)
+        throw std::logic_error(
+            path_ + ": sequence record on a non-Sequences shard");
+    const auto len = static_cast<uint32_t>(obs.size());
+    const uint32_t reserved = 0;
+    const size_t obs_bytes = obs.size_bytes();
+    // Pad odd-length symbol runs so the next record stays 8-aligned.
+    const uint32_t pad = 0;
+    const size_t pad_bytes = (obs.size() % 2 != 0) ? 4 : 0;
+
+    write(&len, sizeof(len));
+    write(&reserved, sizeof(reserved));
+    if (obs_bytes > 0)
+        write(obs.data(), obs_bytes);
+    if (pad_bytes > 0)
+        write(&pad, pad_bytes);
+
+    crc_ = crc32(crc_, &len, sizeof(len));
+    crc_ = crc32(crc_, &reserved, sizeof(reserved));
+    crc_ = crc32(crc_, obs.data(), obs_bytes);
+    crc_ = crc32(crc_, &pad, pad_bytes);
+    payload_bytes_ += sizeof(len) + sizeof(reserved) + obs_bytes +
+                      pad_bytes;
+    ++items_;
+}
+
+void
+ShardWriter::close()
+{
+    assert(file_ != nullptr && "writer already closed");
+    const uint64_t trailer = crc_; // zero-extended to 8 bytes
+    write(&trailer, sizeof(trailer));
+
+    ShardHeader header{};
+    std::memcpy(header.magic, shard_magic, sizeof(header.magic));
+    header.version = shard_version;
+    header.payload = static_cast<uint32_t>(payload_);
+    header.item_count = items_;
+    header.payload_bytes = payload_bytes_;
+    if (std::fseek(file_, 0, SEEK_SET) != 0)
+        fail(path_, "seek failed");
+    write(&header, sizeof(header));
+
+    std::FILE *file = std::exchange(file_, nullptr);
+    if (std::fclose(file) != 0)
+        fail(path_, "close failed");
+}
+
+// ------------------------------------------------------------ reader
+
+ShardReader::ShardReader(const std::string &path) : path_(path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        fail(path, std::string("cannot open: ") +
+                       std::strerror(errno));
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+        const int err = errno;
+        ::close(fd);
+        fail(path, std::string("cannot stat: ") + std::strerror(err));
+    }
+    const auto file_bytes = static_cast<size_t>(st.st_size);
+    if (file_bytes < sizeof(ShardHeader) + shard_trailer_bytes) {
+        ::close(fd);
+        fail(path, "truncated shard (smaller than header + trailer)");
+    }
+    void *map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE,
+                       fd, 0);
+    ::close(fd); // the mapping keeps the file alive
+    if (map == MAP_FAILED)
+        fail(path, std::string("mmap failed: ") +
+                       std::strerror(errno));
+    base_ = static_cast<const unsigned char *>(map);
+    mapped_bytes_ = file_bytes;
+
+    ShardHeader header;
+    std::memcpy(&header, base_, sizeof(header));
+    if (std::memcmp(header.magic, shard_magic,
+                    sizeof(shard_magic)) != 0) {
+        unmap();
+        fail(path, "bad magic (not a shard file)");
+    }
+    if (header.version != shard_version) {
+        unmap();
+        fail(path, "unsupported shard version " +
+                       std::to_string(header.version));
+    }
+    if (header.payload !=
+            static_cast<uint32_t>(ShardPayload::Columns) &&
+        header.payload !=
+            static_cast<uint32_t>(ShardPayload::Sequences)) {
+        unmap();
+        fail(path, "unknown payload tag " +
+                       std::to_string(header.payload));
+    }
+    version_ = header.version;
+    payload_ = static_cast<ShardPayload>(header.payload);
+    if (header.payload_bytes !=
+        file_bytes - sizeof(ShardHeader) - shard_trailer_bytes) {
+        unmap();
+        fail(path, "truncated shard (payload size does not match "
+                   "file size)");
+    }
+    payload_bytes_ = header.payload_bytes;
+
+    const unsigned char *payload = base_ + sizeof(ShardHeader);
+    const uint32_t stored_crc = loadAt<uint32_t>(
+        base_, sizeof(ShardHeader) + payload_bytes_);
+    const uint32_t computed_crc = crc32(0, payload, payload_bytes_);
+    if (stored_crc != computed_crc) {
+        unmap();
+        fail(path, "payload CRC mismatch (corrupted shard)");
+    }
+
+    // Walk every record boundary once so column()/sequence() can
+    // never step outside the payload. The header is outside the CRC,
+    // so item_count is untrusted until the walk confirms it: records
+    // are at least 8 bytes, which bounds any honest count — reject a
+    // larger one here instead of letting reserve() throw bad_alloc.
+    if (header.item_count > payload_bytes_ / 8) {
+        unmap();
+        fail(path, "item count exceeds what the payload can hold");
+    }
+    offsets_.reserve(header.item_count);
+    size_t offset = 0;
+    for (uint64_t i = 0; i < header.item_count; ++i) {
+        if (offset + 8 > payload_bytes_) {
+            unmap();
+            fail(path, "record header overruns payload");
+        }
+        const auto count = loadAt<uint32_t>(payload, offset);
+        size_t record_bytes = 0;
+        if (payload_ == ShardPayload::Columns) {
+            record_bytes = 8 + size_t{count} * sizeof(double);
+        } else {
+            record_bytes = 8 + size_t{count} * sizeof(int32_t);
+            record_bytes = (record_bytes + 7) & ~size_t{7};
+        }
+        if (offset + record_bytes > payload_bytes_) {
+            unmap();
+            fail(path, "record overruns payload");
+        }
+        offsets_.push_back(offset);
+        offset += record_bytes;
+    }
+    if (offset != payload_bytes_) {
+        unmap();
+        fail(path, "trailing bytes after the last record");
+    }
+}
+
+ShardReader::~ShardReader()
+{
+    unmap();
+}
+
+ShardReader::ShardReader(ShardReader &&other) noexcept
+    : path_(std::move(other.path_)), payload_(other.payload_),
+      version_(other.version_), payload_bytes_(other.payload_bytes_),
+      mapped_bytes_(std::exchange(other.mapped_bytes_, 0)),
+      base_(std::exchange(other.base_, nullptr)),
+      offsets_(std::move(other.offsets_))
+{
+    other.offsets_.clear();
+}
+
+ShardReader &
+ShardReader::operator=(ShardReader &&other) noexcept
+{
+    if (this != &other) {
+        unmap();
+        path_ = std::move(other.path_);
+        payload_ = other.payload_;
+        version_ = other.version_;
+        payload_bytes_ = other.payload_bytes_;
+        mapped_bytes_ = std::exchange(other.mapped_bytes_, 0);
+        base_ = std::exchange(other.base_, nullptr);
+        offsets_ = std::move(other.offsets_);
+        other.offsets_.clear();
+    }
+    return *this;
+}
+
+void
+ShardReader::unmap() noexcept
+{
+    if (base_ != nullptr) {
+        ::munmap(const_cast<unsigned char *>(base_), mapped_bytes_);
+        base_ = nullptr;
+        mapped_bytes_ = 0;
+    }
+}
+
+pbd::ColumnView
+ShardReader::column(size_t i) const
+{
+    assert(payload_ == ShardPayload::Columns &&
+           "column() on a non-Columns shard");
+    assert(i < offsets_.size() && "column index out of range");
+    const unsigned char *payload = base_ + sizeof(ShardHeader);
+    const size_t offset = offsets_[i];
+    const auto n = loadAt<uint32_t>(payload, offset);
+    const auto k = loadAt<int32_t>(payload, offset + 4);
+    // Records are 8-aligned within the page-aligned mapping, so the
+    // probability block really is a double array in place.
+    const auto *probs = reinterpret_cast<const double *>(
+        payload + offset + 8);
+    return {std::span<const double>(probs, n), static_cast<int>(k)};
+}
+
+std::span<const int>
+ShardReader::sequence(size_t i) const
+{
+    assert(payload_ == ShardPayload::Sequences &&
+           "sequence() on a non-Sequences shard");
+    assert(i < offsets_.size() && "sequence index out of range");
+    const unsigned char *payload = base_ + sizeof(ShardHeader);
+    const size_t offset = offsets_[i];
+    const auto len = loadAt<uint32_t>(payload, offset);
+    const auto *obs = reinterpret_cast<const int *>(
+        payload + offset + 8);
+    return {obs, len};
+}
+
+pbd::Column
+ShardReader::materializeColumn(size_t i) const
+{
+    const pbd::ColumnView view = column(i);
+    pbd::Column out;
+    out.k = view.k;
+    out.success_probs.assign(view.success_probs.begin(),
+                             view.success_probs.end());
+    return out;
+}
+
+// ------------------------------------------------------ conveniences
+
+void
+writeColumnShard(const std::string &path,
+                 std::span<const pbd::Column> columns)
+{
+    ShardWriter writer(path, ShardPayload::Columns);
+    for (const auto &column : columns)
+        writer.add(column);
+    writer.close();
+}
+
+std::vector<pbd::Column>
+readColumnShard(const std::string &path)
+{
+    const ShardReader reader(path);
+    std::vector<pbd::Column> out;
+    out.reserve(reader.size());
+    for (size_t i = 0; i < reader.size(); ++i)
+        out.push_back(reader.materializeColumn(i));
+    return out;
+}
+
+} // namespace pstat::io

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Versioned binary shard files for the evaluation datasets.
+ *
+ * The paper's workloads were synthesized in-process and held
+ * entirely in memory, which caps every bench and app at what one
+ * allocation can hold. A shard file is the unit of on-disk dataset
+ * storage that lifts that cap: a fixed little-endian header (magic,
+ * format version, payload tag, item count, payload size), a packed
+ * payload of records, and a CRC-32 trailer over the payload. Two
+ * payload kinds cover the repo's workload families:
+ *
+ *  - Columns (the lofreq/PBD family): per record a uint32 read
+ *    count N, an int32 variant count K, then N binary64 per-read
+ *    probabilities. Records stay 8-byte aligned, so a memory-mapped
+ *    shard hands out pbd::ColumnView spans directly into the file —
+ *    zero copies, and the doubles round-trip bit-exactly.
+ *  - Sequences (the vicar/HMM family): per record a uint32 length,
+ *    4 bytes of reserved padding, then `length` int32 observation
+ *    symbols, padded to the next 8-byte boundary.
+ *
+ * ShardWriter streams records to disk (O(record) memory, CRC
+ * accumulated incrementally); ShardReader memory-maps a file,
+ * validates header fields against the file size and the payload
+ * against the CRC trailer, and then serves zero-copy views. All
+ * corruption — truncation, bad magic, unknown version or payload
+ * tag, CRC mismatch, a record overrunning the payload — surfaces as
+ * ShardError at open time, never as a bad value later.
+ */
+
+#ifndef PSTAT_IO_SHARD_HH
+#define PSTAT_IO_SHARD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pbd/dataset.hh"
+
+/**
+ * @namespace pstat::io
+ * The dataset I/O layer: the versioned binary shard format
+ * (ShardWriter / ShardReader, mmap-backed) and the bounded
+ * producer/consumer shard pipeline (ShardStream) the engine's
+ * streaming entry points consume.
+ */
+namespace pstat::io
+{
+
+/** Any shard-file failure: I/O errors and every corruption class. */
+class ShardError : public std::runtime_error
+{
+  public:
+    /** Inherits the message constructor. */
+    using std::runtime_error::runtime_error;
+};
+
+/** What one shard's records hold. */
+enum class ShardPayload : uint32_t
+{
+    Columns = 1,   //!< PBD alignment columns (N, K, probabilities)
+    Sequences = 2, //!< HMM observation sequences (int32 symbols)
+};
+
+/** The on-disk magic, first 8 bytes of every shard file. */
+inline constexpr char shard_magic[8] = {'P', 'S', 'T', 'S',
+                                        'H', 'R', 'D', '1'};
+/** Current format version; readers reject anything else. */
+inline constexpr uint32_t shard_version = 1;
+
+/**
+ * The fixed file header (little-endian, 32 bytes). payload_bytes
+ * counts only the record bytes between the header and the CRC
+ * trailer, so `file size == 32 + payload_bytes + 8` always holds.
+ */
+struct ShardHeader
+{
+    char magic[8];          //!< shard_magic
+    uint32_t version;       //!< shard_version
+    uint32_t payload;       //!< ShardPayload tag
+    uint64_t item_count;    //!< records in the payload
+    uint64_t payload_bytes; //!< bytes between header and trailer
+};
+static_assert(sizeof(ShardHeader) == 32, "header layout is on-disk");
+
+/** Trailer size: the CRC-32 value zero-extended to keep 8-alignment. */
+inline constexpr size_t shard_trailer_bytes = 8;
+
+/**
+ * CRC-32 (IEEE 802.3, the zlib polynomial) over a byte range,
+ * resumable: feed the previous return value as `crc` to extend a
+ * running checksum (start from 0).
+ */
+uint32_t crc32(uint32_t crc, const void *data, size_t len);
+
+/**
+ * Streams records into a shard file: a placeholder header first,
+ * records appended with an incrementally maintained CRC, and
+ * close() patches the real header and writes the trailer. Memory
+ * stays O(record) regardless of shard size. Writer methods throw
+ * ShardError on I/O failure and std::logic_error on payload-kind
+ * misuse (a sequence appended to a Columns shard).
+ */
+class ShardWriter
+{
+  public:
+    /** Opens (truncates) `path` for a shard of the given payload. */
+    ShardWriter(std::string path, ShardPayload payload);
+    /** Best-effort close; prefer close() to observe I/O errors. */
+    ~ShardWriter();
+
+    ShardWriter(const ShardWriter &) = delete;            //!< not copyable
+    ShardWriter &operator=(const ShardWriter &) = delete; //!< not copyable
+
+    /** Append one column record (Columns shards only). */
+    void add(pbd::ColumnView column);
+    /** Append one column record (Columns shards only). */
+    void add(const pbd::Column &column) { add(column.view()); }
+    /** Append one observation sequence (Sequences shards only). */
+    void addSequence(std::span<const int> obs);
+
+    /** Records appended so far. */
+    size_t items() const { return items_; }
+    /** Payload bytes appended so far. */
+    size_t payloadBytes() const { return payload_bytes_; }
+
+    /** Writes the trailer, patches the header, and closes the file. */
+    void close();
+
+  private:
+    void write(const void *data, size_t len);
+
+    std::string path_;
+    ShardPayload payload_;
+    std::FILE *file_ = nullptr;
+    size_t items_ = 0;
+    size_t payload_bytes_ = 0;
+    uint32_t crc_ = 0;
+};
+
+/**
+ * A memory-mapped shard file serving zero-copy record views. The
+ * constructor maps the file and validates everything up front:
+ * header fields against the file size, the payload against the CRC
+ * trailer, and every record boundary (building the record index).
+ * Views borrow the mapping, so they are valid only while the reader
+ * lives; the reader is movable (the mapping transfers) so it can be
+ * produced by a loader thread and consumed elsewhere.
+ */
+class ShardReader
+{
+  public:
+    /** Maps and fully validates `path`; throws ShardError. */
+    explicit ShardReader(const std::string &path);
+    /** Unmaps the file (views into it die with the reader). */
+    ~ShardReader();
+
+    /** Transfers the mapping; `other` is left empty and unmapped. */
+    ShardReader(ShardReader &&other) noexcept;
+    /** Transfers the mapping; `other` is left empty and unmapped. */
+    ShardReader &operator=(ShardReader &&other) noexcept;
+    ShardReader(const ShardReader &) = delete;            //!< not copyable
+    ShardReader &operator=(const ShardReader &) = delete; //!< not copyable
+
+    /** The path the shard was opened from. */
+    const std::string &path() const { return path_; }
+    /** The payload kind of every record in this shard. */
+    ShardPayload payload() const { return payload_; }
+    /** The file's format version (always shard_version today). */
+    uint32_t version() const { return version_; }
+    /** Number of records. */
+    size_t size() const { return offsets_.size(); }
+    /** Payload bytes (excludes header and trailer). */
+    size_t payloadBytes() const { return payload_bytes_; }
+    /** Total mapped bytes (the whole file). */
+    size_t fileBytes() const { return mapped_bytes_; }
+
+    /**
+     * Zero-copy view of column `i` (Columns shards; asserts the
+     * payload kind and bounds). The span points into the mapping.
+     */
+    pbd::ColumnView column(size_t i) const;
+
+    /**
+     * Zero-copy view of sequence `i` (Sequences shards; asserts the
+     * payload kind and bounds). The span points into the mapping.
+     */
+    std::span<const int> sequence(size_t i) const;
+
+    /** An owning copy of column `i`, for callers that outlive us. */
+    pbd::Column materializeColumn(size_t i) const;
+
+  private:
+    void unmap() noexcept;
+
+    std::string path_;
+    ShardPayload payload_ = ShardPayload::Columns;
+    uint32_t version_ = 0;
+    size_t payload_bytes_ = 0;
+    size_t mapped_bytes_ = 0;
+    const unsigned char *base_ = nullptr; //!< mapping base (or null)
+    std::vector<size_t> offsets_; //!< record offsets into the payload
+};
+
+/** One-shot convenience: write every column as one shard file. */
+void writeColumnShard(const std::string &path,
+                      std::span<const pbd::Column> columns);
+
+/** One-shot convenience: materialize every column of a shard. */
+std::vector<pbd::Column> readColumnShard(const std::string &path);
+
+} // namespace pstat::io
+
+#endif // PSTAT_IO_SHARD_HH

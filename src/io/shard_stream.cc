@@ -1,0 +1,54 @@
+#include "io/shard_stream.hh"
+
+#include <utility>
+
+namespace pstat::io
+{
+
+ShardStream::ShardStream(std::vector<std::string> paths,
+                         ShardStreamConfig config)
+    : paths_(std::move(paths)), queue_(config.queue_capacity)
+{
+    producer_ = std::thread([this] { producerLoop(); });
+}
+
+ShardStream::~ShardStream()
+{
+    queue_.close(); // unblock a producer stuck in push()
+    producer_.join();
+}
+
+void
+ShardStream::producerLoop()
+{
+    for (const auto &path : paths_) {
+        try {
+            ShardReader reader(path);
+            if (!queue_.push(std::move(reader)))
+                return; // consumer dropped the stream
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(error_mutex_);
+                error_ = std::current_exception();
+            }
+            // Close so next() drains the delivered prefix and then
+            // observes the error instead of blocking forever.
+            queue_.close();
+            return;
+        }
+    }
+    queue_.close();
+}
+
+std::optional<ShardReader>
+ShardStream::next()
+{
+    if (auto reader = queue_.pop())
+        return reader;
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    if (error_)
+        std::rethrow_exception(std::exchange(error_, nullptr));
+    return std::nullopt;
+}
+
+} // namespace pstat::io

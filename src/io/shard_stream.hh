@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Bounded producer/consumer pipeline over shard files.
+ *
+ * Streaming evaluation wants shard loading (open, mmap, validate —
+ * I/O and CRC work) overlapped with kernel compute, but without ever
+ * holding more than a handful of shards alive: peak memory must stay
+ * O(shard), not O(dataset). ShardStream runs one producer thread
+ * that opens the given shard paths in order and pushes the validated
+ * readers into a BoundedQueue; the consumer pops them via next().
+ * The queue's capacity bound is the backpressure: when the consumer
+ * falls behind, the producer blocks in push() instead of mapping
+ * further ahead, so at most `queue_capacity + 2` shards exist at
+ * once (queued, plus one in the producer's hands, plus one in the
+ * consumer's).
+ *
+ * A producer-side failure (missing file, corrupt shard) is captured
+ * and rethrown from next() after every shard loaded before the
+ * failure has been delivered — the consumer sees exactly the prefix
+ * that validated, in order, then the error. Dropping the stream
+ * early (consumer destructor) cancels the queue, unblocks the
+ * producer, and joins it; no thread outlives the object.
+ */
+
+#ifndef PSTAT_IO_SHARD_STREAM_HH
+#define PSTAT_IO_SHARD_STREAM_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/shard.hh"
+
+namespace pstat::io
+{
+
+/**
+ * A minimal bounded MPMC queue: push() blocks while full, pop()
+ * blocks while empty, close() wakes everyone — pushes after close
+ * are refused (returns false) and pops drain what remains, then
+ * report exhaustion. peakDepth() records the high-water mark so
+ * callers can verify the bound actually held.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** A queue bounded at `capacity` items (0 is promoted to 1). */
+    explicit BoundedQueue(size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    /**
+     * Blocks until there is room (or the queue closes). Returns
+     * false — item dropped — when the queue was closed.
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        space_cv_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        if (items_.size() > peak_depth_)
+            peak_depth_ = items_.size();
+        lock.unlock();
+        item_cv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocks until an item is available; empty optional once the
+     * queue is closed and drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        item_cv_.wait(lock,
+                      [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        std::optional<T> out(std::move(items_.front()));
+        items_.pop_front();
+        lock.unlock();
+        space_cv_.notify_one();
+        return out;
+    }
+
+    /** Refuse further pushes and wake every waiter. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        item_cv_.notify_all();
+        space_cv_.notify_all();
+    }
+
+    /** The capacity bound given at construction. */
+    size_t capacity() const { return capacity_; }
+
+    /** High-water mark of the queue depth so far. */
+    size_t
+    peakDepth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return peak_depth_;
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable item_cv_;
+    std::condition_variable space_cv_;
+    std::deque<T> items_;
+    size_t peak_depth_ = 0;
+    bool closed_ = false;
+};
+
+/** Configuration of one shard stream. */
+struct ShardStreamConfig
+{
+    /**
+     * How many loaded (mmap-validated) shards the producer may queue
+     * ahead of the consumer. This is the pipeline's memory bound:
+     * larger values hide more load latency, smaller values cap RSS
+     * tighter.
+     */
+    size_t queue_capacity = 2;
+};
+
+/** The producer-thread shard pipeline described in the file header. */
+class ShardStream
+{
+  public:
+    /** Starts the producer over `paths`, loaded in order. */
+    explicit ShardStream(std::vector<std::string> paths,
+                         ShardStreamConfig config = {});
+
+    /** Cancels the queue, unblocks and joins the producer. */
+    ~ShardStream();
+
+    ShardStream(const ShardStream &) = delete;            //!< not copyable
+    ShardStream &operator=(const ShardStream &) = delete; //!< not copyable
+
+    /**
+     * The next shard, in path order; empty once every path has been
+     * delivered. Rethrows the producer's ShardError once every shard
+     * loaded before the failure has been consumed.
+     */
+    std::optional<ShardReader> next();
+
+    /** Total paths the stream was constructed over. */
+    size_t shardCount() const { return paths_.size(); }
+
+    /** High-water mark of loaded-but-unconsumed shards. */
+    size_t peakQueueDepth() const { return queue_.peakDepth(); }
+
+  private:
+    void producerLoop();
+
+    std::vector<std::string> paths_;
+    BoundedQueue<ShardReader> queue_;
+    std::mutex error_mutex_;
+    std::exception_ptr error_;
+    std::thread producer_;
+};
+
+} // namespace pstat::io
+
+#endif // PSTAT_IO_SHARD_STREAM_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "stats/distributions.hh"
 
@@ -136,20 +137,28 @@ estimateLog2PValue(const Column &column)
     return std::min(estimate, 0.0);
 }
 
+void
+generateColumns(const DatasetConfig &config,
+                const std::function<void(Column &&)> &sink)
+{
+    stats::Rng rng(config.seed);
+    for (int i = 0; i < config.num_columns; ++i) {
+        if (rng.uniform() < config.variant_fraction)
+            sink(makeVariantColumn(rng, drawTargetBits(rng)));
+        else
+            sink(makeBackgroundColumn(rng, config));
+    }
+}
+
 ColumnDataset
 makeDataset(const DatasetConfig &config, const std::string &name)
 {
-    stats::Rng rng(config.seed);
     ColumnDataset out;
     out.name = name;
     out.columns.reserve(config.num_columns);
-    for (int i = 0; i < config.num_columns; ++i) {
-        if (rng.uniform() < config.variant_fraction)
-            out.columns.push_back(
-                makeVariantColumn(rng, drawTargetBits(rng)));
-        else
-            out.columns.push_back(makeBackgroundColumn(rng, config));
-    }
+    generateColumns(config, [&](Column &&col) {
+        out.columns.push_back(std::move(col));
+    });
     return out;
 }
 

@@ -25,6 +25,8 @@
 #define PSTAT_PBD_DATASET_HH
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,25 @@
 
 namespace pstat::pbd
 {
+
+/**
+ * A borrowed view of one alignment column: the per-read probability
+ * span plus the observed variant count. This is the common currency
+ * of the storage layer — mmap-backed shard readers (io/shard.hh)
+ * hand out views into the mapped file, and owning Columns convert
+ * via view() — so every kernel entry point that takes a span works
+ * on either without copying.
+ */
+struct ColumnView
+{
+    std::span<const double> success_probs; //!< borrowed probabilities
+    int k = 0;                             //!< observed variant count
+
+    int coverage() const
+    {
+        return static_cast<int>(success_probs.size());
+    }
+};
 
 /** One alignment column: N reads, observed variant count K. */
 struct Column
@@ -42,6 +63,12 @@ struct Column
     int coverage() const
     {
         return static_cast<int>(success_probs.size());
+    }
+
+    /** A borrowed view of this column (valid while it lives). */
+    ColumnView view() const
+    {
+        return {success_probs, k};
     }
 };
 
@@ -113,6 +140,17 @@ struct DatasetConfig
 /** Build one dataset with the paper's p-value magnitude spectrum. */
 ColumnDataset makeDataset(const DatasetConfig &config,
                           const std::string &name);
+
+/**
+ * Stream-generate the columns of a dataset, invoking the sink once
+ * per column in generation order. This is the serialization hook the
+ * shard writer builds on: a full-size dataset can be written to disk
+ * with O(column) — not O(dataset) — peak memory. makeDataset is this
+ * generator with a vector-push sink, so the two produce identical
+ * columns for identical configs.
+ */
+void generateColumns(const DatasetConfig &config,
+                     const std::function<void(Column &&)> &sink);
 
 /**
  * The eight evaluation datasets D0..D7 (Figure 7). Column counts are

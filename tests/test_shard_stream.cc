@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Shard-pipeline tests: BoundedQueue bounds and shutdown, ShardStream
+ * ordering / error surfacing / early-drop shutdown, and the engine's
+ * streamed entry points (pvalueStream, pvalueScreenedStream,
+ * forwardStream) against their in-memory batch counterparts —
+ * bit-identical per registered format, as the streaming contract
+ * demands.
+ */
+
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/eval_engine.hh"
+#include "engine/format_registry.hh"
+#include "hmm/generator.hh"
+#include "io/shard.hh"
+#include "io/shard_stream.hh"
+#include "pbd/dataset.hh"
+
+namespace
+{
+
+using namespace pstat;
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** Write `count` small column shards; returns their paths. */
+std::vector<std::string>
+writeColumnShards(const std::string &stem, int count,
+                  int columns_per_shard)
+{
+    std::vector<std::string> paths;
+    for (int s = 0; s < count; ++s) {
+        pbd::DatasetConfig config;
+        config.num_columns = columns_per_shard;
+        config.median_coverage = 60.0;
+        config.coverage_sigma = 0.4;
+        config.variant_fraction = 0.15;
+        config.seed = 977ULL + 13ULL * s;
+        const auto dataset = pbd::makeDataset(
+            config, stem + std::to_string(s));
+        const std::string path =
+            tempPath(stem + std::to_string(s) + ".shard");
+        io::writeColumnShard(path, dataset.columns);
+        paths.push_back(path);
+    }
+    return paths;
+}
+
+/** Concatenation of every shard's columns, in stream order. */
+std::vector<pbd::Column>
+materializeAll(const std::vector<std::string> &paths)
+{
+    std::vector<pbd::Column> columns;
+    for (const auto &path : paths) {
+        auto shard = io::readColumnShard(path);
+        for (auto &column : shard)
+            columns.push_back(std::move(column));
+    }
+    return columns;
+}
+
+TEST(ShardStream, BoundedQueuePushPopAndClose)
+{
+    io::BoundedQueue<int> queue(2);
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_TRUE(queue.push(2));
+    EXPECT_EQ(queue.peakDepth(), 2u);
+    EXPECT_EQ(queue.pop(), std::optional<int>(1));
+    queue.close();
+    EXPECT_FALSE(queue.push(3)); // refused after close
+    EXPECT_EQ(queue.pop(), std::optional<int>(2)); // drains
+    EXPECT_EQ(queue.pop(), std::nullopt);          // exhausted
+}
+
+TEST(ShardStream, BoundedQueueBlocksProducerAtCapacity)
+{
+    io::BoundedQueue<int> queue(1);
+    EXPECT_TRUE(queue.push(1));
+    std::thread producer([&] { EXPECT_TRUE(queue.push(2)); });
+    // The producer is parked on the full queue until we pop.
+    EXPECT_EQ(queue.pop(), std::optional<int>(1));
+    EXPECT_EQ(queue.pop(), std::optional<int>(2));
+    producer.join();
+    EXPECT_EQ(queue.peakDepth(), 1u);
+}
+
+TEST(ShardStream, DeliversEveryShardInPathOrder)
+{
+    const auto paths = writeColumnShards("order", 5, 8);
+    io::ShardStreamConfig config;
+    config.queue_capacity = 2;
+    io::ShardStream stream(paths, config);
+    EXPECT_EQ(stream.shardCount(), paths.size());
+
+    size_t seen = 0;
+    while (auto shard = stream.next()) {
+        EXPECT_EQ(shard->path(), paths[seen]);
+        EXPECT_EQ(shard->size(), 8u);
+        ++seen;
+    }
+    EXPECT_EQ(seen, paths.size());
+    EXPECT_EQ(stream.next(), std::nullopt); // stays exhausted
+    EXPECT_LE(stream.peakQueueDepth(), config.queue_capacity);
+}
+
+TEST(ShardStream, MissingFileSurfacesAfterTheValidPrefix)
+{
+    auto paths = writeColumnShards("errprefix", 2, 6);
+    paths.push_back(tempPath("errprefix-missing.shard"));
+
+    io::ShardStream stream(paths);
+    EXPECT_TRUE(stream.next().has_value());
+    EXPECT_TRUE(stream.next().has_value());
+    EXPECT_THROW(stream.next(), io::ShardError);
+}
+
+TEST(ShardStream, DroppingTheStreamEarlyJoinsTheProducer)
+{
+    const auto paths = writeColumnShards("earlydrop", 6, 6);
+    io::ShardStreamConfig config;
+    config.queue_capacity = 1; // producer will park on the bound
+    io::ShardStream stream(paths, config);
+    ASSERT_TRUE(stream.next().has_value());
+    // Destructor must cancel the queue and join without deadlock.
+}
+
+TEST(EvalEngineStream, PValueStreamBitMatchesBatchEveryFormat)
+{
+    const auto paths = writeColumnShards("pvstream", 3, 10);
+    const auto columns = materializeAll(paths);
+    engine::EvalEngine engine(4);
+
+    for (const auto *format :
+         engine::FormatRegistry::instance().all()) {
+        const auto want = engine.pvalueBatch(
+            *format, columns, engine::SumPolicy::Plain);
+
+        std::vector<engine::EvalResult> got;
+        io::ShardStream stream(paths);
+        const auto stats = engine.pvalueStream(
+            *format, stream,
+            [&](size_t, const io::ShardReader &,
+                std::span<const engine::EvalResult> results) {
+                got.insert(got.end(), results.begin(),
+                           results.end());
+            },
+            engine::SumPolicy::Plain);
+
+        EXPECT_EQ(stats.shards, paths.size());
+        EXPECT_EQ(stats.items, columns.size());
+        EXPECT_GT(stats.peak_mapped_bytes, 0u);
+        ASSERT_EQ(got.size(), want.size()) << format->id();
+        for (size_t i = 0; i < want.size(); ++i) {
+            EXPECT_TRUE(got[i].value == want[i].value)
+                << format->id() << " column " << i;
+            EXPECT_EQ(got[i].invalid, want[i].invalid);
+            EXPECT_EQ(got[i].underflow, want[i].underflow);
+        }
+    }
+}
+
+TEST(EvalEngineStream, ScreenedStreamBitMatchesScreenedBatch)
+{
+    const auto paths = writeColumnShards("scstream", 3, 10);
+    engine::EvalEngine engine(4);
+    pbd::ScreenConfig config;
+    config.guard_band_log2 = 32.0;
+
+    for (const char *id : {"log", "log32", "binary64", "bfloat16"}) {
+        const auto &format =
+            engine::FormatRegistry::instance().at(id);
+
+        // Per shard, the streamed batch must equal the in-memory
+        // screened batch over that shard's columns — results, skip
+        // mask, estimates, and stats.
+        std::vector<engine::ScreenedPValueBatch> streamed;
+        io::ShardStream stream(paths);
+        engine.pvalueScreenedStream(
+            format, stream,
+            [&](size_t, const io::ShardReader &,
+                const engine::ScreenedPValueBatch &batch) {
+                streamed.push_back(batch);
+            },
+            config, engine::SumPolicy::Plain);
+
+        ASSERT_EQ(streamed.size(), paths.size()) << id;
+        for (size_t s = 0; s < paths.size(); ++s) {
+            const auto columns = io::readColumnShard(paths[s]);
+            const auto want = engine.pvalueScreenedBatch(
+                format, columns, config, engine::SumPolicy::Plain);
+            const auto &got = streamed[s];
+            EXPECT_EQ(got.skipped, want.skipped) << id;
+            EXPECT_EQ(got.estimates_log2, want.estimates_log2) << id;
+            EXPECT_EQ(got.stats.columns, want.stats.columns);
+            EXPECT_EQ(got.stats.skipped, want.stats.skipped);
+            EXPECT_EQ(got.stats.evaluated, want.stats.evaluated);
+            EXPECT_EQ(got.stats.guard_band_hits,
+                      want.stats.guard_band_hits);
+            ASSERT_EQ(got.results.size(), want.results.size());
+            for (size_t i = 0; i < want.results.size(); ++i) {
+                EXPECT_TRUE(got.results[i].value ==
+                            want.results[i].value)
+                    << id << " shard " << s << " column " << i;
+                EXPECT_EQ(got.results[i].invalid,
+                          want.results[i].invalid);
+                EXPECT_EQ(got.results[i].underflow,
+                          want.results[i].underflow);
+            }
+        }
+    }
+}
+
+TEST(EvalEngineStream, ForwardStreamBitMatchesBatchEveryFormat)
+{
+    stats::Rng rng(4243);
+    const hmm::Model model = hmm::makeDirichletModel(rng, 4, 6);
+    std::vector<std::vector<int>> sequences;
+    for (int i = 0; i < 9; ++i)
+        sequences.push_back(
+            hmm::sampleObservations(rng, model, 12 + 3 * i));
+
+    // Three sequence shards of three records each.
+    std::vector<std::string> paths;
+    for (int s = 0; s < 3; ++s) {
+        const std::string path =
+            tempPath("fwdstream" + std::to_string(s) + ".shard");
+        io::ShardWriter writer(path, io::ShardPayload::Sequences);
+        for (int i = 0; i < 3; ++i)
+            writer.addSequence(sequences[3 * s + i]);
+        writer.close();
+        paths.push_back(path);
+    }
+
+    std::vector<engine::ForwardJob> jobs;
+    for (const auto &seq : sequences)
+        jobs.push_back({&model, seq});
+
+    engine::EvalEngine engine(4);
+    for (const auto *format :
+         engine::FormatRegistry::instance().all()) {
+        const auto want = engine.forwardBatch(
+            *format, jobs, engine::Dataflow::Accelerator);
+
+        std::vector<engine::EvalResult> got;
+        io::ShardStream stream(paths);
+        const auto stats = engine.forwardStream(
+            *format, model, stream,
+            [&](size_t, const io::ShardReader &,
+                std::span<const engine::EvalResult> results) {
+                got.insert(got.end(), results.begin(),
+                           results.end());
+            },
+            engine::Dataflow::Accelerator);
+
+        EXPECT_EQ(stats.shards, paths.size());
+        EXPECT_EQ(stats.items, sequences.size());
+        ASSERT_EQ(got.size(), want.size()) << format->id();
+        for (size_t i = 0; i < want.size(); ++i) {
+            EXPECT_TRUE(got[i].value == want[i].value)
+                << format->id() << " sequence " << i;
+            EXPECT_EQ(got[i].invalid, want[i].invalid);
+            EXPECT_EQ(got[i].underflow, want[i].underflow);
+        }
+    }
+}
+
+TEST(EvalEngineStream, StreamOverNoShardsIsEmpty)
+{
+    engine::EvalEngine engine(2);
+    io::ShardStream stream(std::vector<std::string>{});
+    const auto &format =
+        engine::FormatRegistry::instance().at("binary64");
+    const auto stats = engine.pvalueStream(
+        format, stream,
+        [&](size_t, const io::ShardReader &,
+            std::span<const engine::EvalResult>) {
+            FAIL() << "sink must not run";
+        });
+    EXPECT_EQ(stats.shards, 0u);
+    EXPECT_EQ(stats.items, 0u);
+    EXPECT_EQ(stats.peak_mapped_bytes, 0u);
+}
+
+} // namespace

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Bench-regression guard: diff a run's BENCH_*.json against baselines.
+
+The CI smoke job emits one BENCH_<name>.json record per bench per
+run; the committed baselines under bench/baselines/ pin the expected
+values. This script compares the two, field by field, with three
+classes of field (classified by key name, innermost key wins):
+
+  ignored   machine- or schedule-dependent values that legitimately
+            differ per host: lane counts, scheduling grain, RSS,
+            queue high-water marks.
+  timing    wall-clock and throughput numbers. Compared within a
+            generous multiplicative tolerance (CI machines vary),
+            direction-aware: times/byte-sizes fail only when they
+            grow past baseline * tolerance, speedups/throughputs
+            only when they drop below baseline / tolerance. Tiny
+            times (< --timing-floor ms) are noise and never fail.
+  accuracy  everything else — counts, flags, labels, error
+            statistics. The benches are deterministic (fixed seeds,
+            fixed reduction orders, -ffp-contract=off), so these
+            must match the baseline exactly (or within
+            --accuracy-rtol when a toolchain needs slack).
+
+Structural drift — a missing/renamed key, a changed array length, a
+run file without a baseline or vice versa — always fails: silently
+shrinking a series is how regressions hide.
+
+Usage:
+  tools/bench_compare.py [--run-dir DIR] [--baseline-dir DIR]
+                         [--timing-tolerance X] [--timing-floor MS]
+                         [--accuracy-rtol R] [--allow-extra]
+  tools/bench_compare.py --self-test
+
+Refreshing baselines after an intended change:
+  tools/refresh_baselines.sh    (see bench/baselines/README.md)
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+IGNORED_RE = re.compile(
+    r"(^|_)(lanes?|threads|grain|rss|peak_queue_depth)($|_)")
+LOWER_BETTER_RE = re.compile(
+    r"(^|_)(ms|sec|seconds|time|overhead)($|_)")
+HIGHER_BETTER_RE = re.compile(
+    r"(^|_)(speedup|per_s|throughput|rate)($|_)")
+SIZE_RE = re.compile(r"(^|_)(bytes|kib|mib)($|_)")
+
+
+def classify(key):
+    """The comparison class of one (innermost) key name."""
+    if IGNORED_RE.search(key):
+        return "ignored"
+    if LOWER_BETTER_RE.search(key):
+        return "lower_better"
+    if HIGHER_BETTER_RE.search(key):
+        return "higher_better"
+    if SIZE_RE.search(key):
+        return "size"
+    return "accuracy"
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(
+        value, bool)
+
+
+class Comparison:
+    def __init__(self, timing_tolerance, timing_floor, accuracy_rtol):
+        self.timing_tolerance = timing_tolerance
+        self.timing_floor = timing_floor
+        self.accuracy_rtol = accuracy_rtol
+        self.failures = []
+
+    def fail(self, path, message):
+        self.failures.append("%s: %s" % (path, message))
+
+    def compare(self, path, key, base, run):
+        """Recursively compare one baseline value against the run."""
+        if isinstance(base, dict) or isinstance(run, dict):
+            if not (isinstance(base, dict) and isinstance(run, dict)):
+                self.fail(path, "type changed (object vs %s)" %
+                          type(run).__name__)
+                return
+            for k in base:
+                if k not in run:
+                    self.fail("%s.%s" % (path, k),
+                              "missing from the run")
+                    continue
+                self.compare("%s.%s" % (path, k), k, base[k], run[k])
+            for k in run:
+                if k not in base:
+                    self.fail("%s.%s" % (path, k),
+                              "not in the baseline (schema drift; "
+                              "refresh baselines if intended)")
+            return
+        if isinstance(base, list) or isinstance(run, list):
+            if not (isinstance(base, list) and isinstance(run, list)):
+                self.fail(path, "type changed (array vs %s)" %
+                          type(run).__name__)
+                return
+            if len(base) != len(run):
+                self.fail(path, "series length changed: baseline %d "
+                          "vs run %d" % (len(base), len(run)))
+                return
+            for i, (b, r) in enumerate(zip(base, run)):
+                self.compare("%s[%d]" % (path, i), key, b, r)
+            return
+
+        cls = classify(key)
+        if cls == "ignored":
+            return
+        if is_number(base) and is_number(run):
+            self.compare_number(path, cls, float(base), float(run))
+            return
+        # null (non-finite numbers), bools, strings: exact.
+        if base != run:
+            self.fail(path, "baseline %r vs run %r" % (base, run))
+
+    def compare_number(self, path, cls, base, run):
+        tol = self.timing_tolerance
+        if cls == "lower_better" or cls == "size":
+            if run <= max(base, self.timing_floor) * tol:
+                return
+            self.fail(path, "regressed: baseline %g vs run %g "
+                      "(tolerance %gx)" % (base, run, tol))
+        elif cls == "higher_better":
+            if base <= self.timing_floor or run >= base / tol:
+                return
+            self.fail(path, "regressed: baseline %g vs run %g "
+                      "(tolerance %gx)" % (base, run, tol))
+        else:  # accuracy: exact (or within --accuracy-rtol)
+            if base == run:
+                return
+            if self.accuracy_rtol > 0.0:
+                scale = max(abs(base), abs(run))
+                if abs(base - run) <= self.accuracy_rtol * scale:
+                    return
+            self.fail(path, "accuracy drift: baseline %r vs run %r"
+                      % (base, run))
+
+
+def compare_files(baseline_path, run_path, args):
+    with open(baseline_path) as f:
+        base = json.load(f)
+    with open(run_path) as f:
+        run = json.load(f)
+    cmp = Comparison(args.timing_tolerance, args.timing_floor,
+                     args.accuracy_rtol)
+    cmp.compare(os.path.basename(run_path), "", base, run)
+    return cmp.failures
+
+
+def run_guard(args):
+    baselines = sorted(
+        glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json")))
+    if not baselines:
+        print("bench_compare: no baselines under %s" %
+              args.baseline_dir)
+        return 1
+    runs = sorted(
+        glob.glob(os.path.join(args.run_dir, "BENCH_*.json")))
+    run_names = {os.path.basename(p) for p in runs}
+    base_names = {os.path.basename(p) for p in baselines}
+
+    status = 0
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        run_path = os.path.join(args.run_dir, name)
+        if name not in run_names:
+            print("FAIL %s: baseline present but the run emitted no "
+                  "record" % name)
+            status = 1
+            continue
+        failures = compare_files(baseline_path, run_path, args)
+        if failures:
+            print("FAIL %s (%d finding%s)" %
+                  (name, len(failures),
+                   "" if len(failures) == 1 else "s"))
+            for failure in failures:
+                print("  " + failure)
+            status = 1
+        else:
+            print("ok   %s" % name)
+    for name in sorted(run_names - base_names):
+        if args.allow_extra:
+            print("note %s: no baseline (allowed by --allow-extra)" %
+                  name)
+        else:
+            print("FAIL %s: run emitted a record with no committed "
+                  "baseline — add one (tools/refresh_baselines.sh)" %
+                  name)
+            status = 1
+    return status
+
+
+def self_test():
+    """Sanity checks of the classifier and comparison logic."""
+    assert classify("eval_lanes") == "ignored"
+    assert classify("grain") == "ignored"
+    assert classify("rss_peak_kib") == "ignored"
+    assert classify("peak_queue_depth") == "ignored"
+    assert classify("wall_ms") == "lower_better"
+    assert classify("stream_over_batch_ms_ratio") == "lower_better"
+    assert classify("headline_stream_overhead") == "lower_better"
+    assert classify("headline_screen_speedup") == "higher_better"
+    assert classify("columns_per_s") == "higher_better"
+    assert classify("peak_mapped_bytes") == "size"
+    assert classify("underflows") == "accuracy"
+    assert classify("median") == "accuracy"
+    assert classify("false_skips") == "accuracy"
+
+    def run(base, run_doc, **kw):
+        cmp = Comparison(kw.get("tol", 25.0), kw.get("floor", 5.0),
+                         kw.get("rtol", 0.0))
+        cmp.compare("t", "", base, run_doc)
+        return cmp.failures
+
+    # Accuracy fields: exact.
+    assert run({"underflows": 3}, {"underflows": 3}) == []
+    assert run({"underflows": 3}, {"underflows": 4}) != []
+    assert run({"median": -13.5}, {"median": -13.500001}) != []
+    assert run({"median": -13.5}, {"median": -13.500001},
+               rtol=1e-6) == []
+    # Timing: generous, direction-aware.
+    assert run({"wall_ms": 100.0}, {"wall_ms": 900.0}) == []
+    assert run({"wall_ms": 100.0}, {"wall_ms": 2600.0}) != []
+    assert run({"wall_ms": 100.0}, {"wall_ms": 1.0}) == []
+    assert run({"speedup": 10.0}, {"speedup": 0.5}) == [], \
+        "0.5 is above 10/25"
+    assert run({"speedup": 10.0}, {"speedup": 0.3}) != []
+    # Tiny timings are noise.
+    assert run({"batch_ms": 0.01}, {"batch_ms": 3.0}) == []
+    # Ignored fields never fail.
+    assert run({"eval_lanes": 4}, {"eval_lanes": 64}) == []
+    # Structure: missing, extra, length drift.
+    assert run({"a": 1, "b": 2}, {"a": 1}) != []
+    assert run({"a": 1}, {"a": 1, "b": 2}) != []
+    assert run({"s": [1, 2]}, {"s": [1, 2, 3]}) != []
+    assert run({"s": [{"n": 1}]}, {"s": [{"n": 1}]}) == []
+    # Innermost key classifies: a timing field inside a series.
+    assert run({"formats": [{"exact_ms": 10.0}]},
+               {"formats": [{"exact_ms": 80.0}]}) == []
+    assert run({"formats": [{"false_skips": 0}]},
+               {"formats": [{"false_skips": 1}]}) != []
+    # Nulls (non-finite doubles serialize as null) compare exactly.
+    assert run({"worst": None}, {"worst": None}) == []
+    assert run({"worst": None}, {"worst": 1.0}) != []
+    print("self-test ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff BENCH_*.json records against baselines")
+    parser.add_argument("--run-dir", default="bench-json",
+                        help="directory with the run's BENCH_*.json")
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        help="directory with committed baselines")
+    parser.add_argument("--timing-tolerance", type=float, default=25.0,
+                        help="multiplicative slack for timing fields")
+    parser.add_argument("--timing-floor", type=float, default=5.0,
+                        help="timings at/below this (ms) never fail")
+    parser.add_argument("--accuracy-rtol", type=float, default=0.0,
+                        help="relative tolerance for accuracy fields "
+                             "(default exact)")
+    parser.add_argument("--allow-extra", action="store_true",
+                        help="tolerate run records with no baseline")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded unit checks and exit")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    return run_guard(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Regenerate the committed bench baselines under bench/baselines/.
+#
+# Baselines pin the BENCH_*.json records the CI bench-regression
+# guard (tools/bench_compare.py) diffs every smoke run against, so
+# they must be produced at exactly the smoke job's workload scale:
+# PSTAT_SCALE=0.2 and PSTAT_FIG10_TLARGE=600. Accuracy fields are
+# compared exactly — rerun this script (and commit the diff) only
+# when a change intentionally moves accuracy numbers.
+#
+# usage: tools/refresh_baselines.sh [build-dir]
+
+set -e
+build_dir=${1:-build}
+out_dir=$(dirname "$0")/../bench/baselines
+mkdir -p "$out_dir"
+
+export PSTAT_SCALE=0.2
+export PSTAT_JSON_DIR=$out_dir
+
+"$build_dir"/bench_fig09_pvalue_accuracy
+PSTAT_FIG10_TLARGE=600 "$build_dir"/bench_fig10_vicar_cdf
+"$build_dir"/bench_fig11_lofreq_cdf
+"$build_dir"/bench_fig12_posterior_accuracy
+"$build_dir"/bench_fig13_screening
+"$build_dir"/bench_fig14_streaming
+
+echo "baselines refreshed under $out_dir"
