@@ -360,18 +360,16 @@ main()
         std::max(4u, std::thread::hardware_concurrency());
     engine::EvalEngine chunked(sched_lanes); // auto grain/PSTAT_GRAIN
     engine::EvalEngine per_index(sched_lanes, 1); // old scheduler
-    double chunked_ms = 1.0e300;
-    double per_index_ms = 1.0e300;
-    for (int rep = 0; rep < 3; ++rep) {
-        bench::WallTimer t;
-        per_index.pvalueBatch(b64, cheap_ds.columns,
-                              engine::SumPolicy::Plain);
-        per_index_ms = std::min(per_index_ms, t.elapsedMs());
-        t.restart();
-        chunked.pvalueBatch(b64, cheap_ds.columns,
-                            engine::SumPolicy::Plain);
-        chunked_ms = std::min(chunked_ms, t.elapsedMs());
-    }
+    const double per_index_ms =
+        bench::timeStats(3, [&] {
+            per_index.pvalueBatch(b64, cheap_ds.columns,
+                                  engine::SumPolicy::Plain);
+        }).min_ms;
+    const double chunked_ms =
+        bench::timeStats(3, [&] {
+            chunked.pvalueBatch(b64, cheap_ds.columns,
+                                engine::SumPolicy::Plain);
+        }).min_ms;
     const size_t grain =
         chunked.grainForBatch(cheap_ds.columns.size());
     const double sched_speedup =

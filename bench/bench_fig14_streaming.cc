@@ -179,14 +179,13 @@ main()
             const auto &format = registry.at(id);
 
             // In-memory reference: the whole dataset in one batch.
-            double batch_ms = 1.0e300;
             std::vector<engine::EvalResult> want;
-            for (int rep = 0; rep < 2; ++rep) {
-                const bench::WallTimer timer;
-                want = engine.pvalueBatch(format, dataset.columns,
-                                          engine::SumPolicy::Plain);
-                batch_ms = std::min(batch_ms, timer.elapsedMs());
-            }
+            const double batch_ms =
+                bench::timeStats(2, [&] {
+                    want = engine.pvalueBatch(
+                        format, dataset.columns,
+                        engine::SumPolicy::Plain);
+                }).min_ms;
 
             for (const size_t shard_columns : shard_sizes) {
                 const auto paths = writeShards(

@@ -13,6 +13,10 @@
 #include "core/dd.hh"
 #include "core/logspace.hh"
 #include "core/posit.hh"
+#include "core/simd.hh"
+#include "pbd/dataset.hh"
+#include "pbd/pbd.hh"
+#include "pbd/pbd_simd.hh"
 #include "stats/rng.hh"
 
 namespace
@@ -171,6 +175,88 @@ BM_BigFloatLn(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BigFloatLn);
+
+// ---------------------------------------------------------------------------
+// SIMD batch kernels vs their scalar oracles (fig15's design point,
+// here in Google-benchmark form for quick interactive comparison).
+// ---------------------------------------------------------------------------
+
+/** The fig15 allele-fraction-threshold scan at micro-bench size. */
+const pbd::ColumnDataset &
+scanDataset()
+{
+    static const pbd::ColumnDataset ds = [] {
+        pbd::DatasetConfig config;
+        config.num_columns = 512;
+        config.median_coverage = 120.0;
+        config.coverage_sigma = 0.4;
+        config.seed = 1501;
+        return pbd::makeScanDataset(config, 0.05, "micro_af_scan");
+    }();
+    return ds;
+}
+
+template <typename T>
+void
+BM_PbdBatchScalar(benchmark::State &state)
+{
+    const auto views = pbd::viewsOf(scanDataset().columns);
+    std::vector<T> out(views.size());
+    for (auto _ : state) {
+        pbd::pvalueBatchSimd<T>(views, out, simd::Isa::Scalar);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(views.size()));
+}
+BENCHMARK(BM_PbdBatchScalar<double>);
+BENCHMARK(BM_PbdBatchScalar<float>);
+
+template <typename T>
+void
+BM_PbdBatchSimd(benchmark::State &state)
+{
+    const auto views = pbd::viewsOf(scanDataset().columns);
+    std::vector<T> out(views.size());
+    const simd::Isa isa = simd::activeIsa();
+    for (auto _ : state) {
+        pbd::pvalueBatchSimd<T>(views, out, isa);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(views.size()));
+    state.SetLabel(simd::isaName(isa));
+}
+BENCHMARK(BM_PbdBatchSimd<double>);
+BENCHMARK(BM_PbdBatchSimd<float>);
+
+void
+BM_LogSumExpNaryScalar(benchmark::State &state)
+{
+    auto pool = makePool<double>(
+        [](double v) { return std::log(v); });
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            logSumExp(std::span<const double>(pool)));
+    }
+    state.SetItemsProcessed(state.iterations() * pool_size);
+}
+BENCHMARK(BM_LogSumExpNaryScalar);
+
+void
+BM_LogSumExpStriped(benchmark::State &state)
+{
+    auto pool = makePool<double>(
+        [](double v) { return std::log(v); });
+    const simd::Isa isa = simd::activeIsa();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simd::logSumExpSimd(std::span<const double>(pool), isa));
+    }
+    state.SetItemsProcessed(state.iterations() * pool_size);
+    state.SetLabel(simd::isaName(isa));
+}
+BENCHMARK(BM_LogSumExpStriped);
 
 } // namespace
 

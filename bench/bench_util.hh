@@ -17,6 +17,7 @@
 #ifndef PSTAT_BENCH_BENCH_UTIL_HH
 #define PSTAT_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -117,6 +118,47 @@ class WallTimer
   private:
     std::chrono::steady_clock::time_point start_;
 };
+
+/** Summary of repeated timing runs (timeStats). */
+struct TimeStats
+{
+    double min_ms = 0.0;    //!< fastest rep — the JSON headline field
+    double median_ms = 0.0; //!< median rep (mean of the middle pair)
+    double mean_ms = 0.0;   //!< arithmetic mean over all reps
+    int reps = 0;           //!< number of timed runs
+};
+
+/**
+ * Run fn() `reps` times (floored at one) and summarize the per-run
+ * wall time. Every bench that reports repeated timings derives its
+ * min/median through this one helper, so the JSON fields are
+ * computed identically everywhere (the headline convention is
+ * min_ms: the least-disturbed run).
+ */
+template <typename Fn>
+TimeStats
+timeStats(int reps, Fn &&fn)
+{
+    TimeStats out;
+    out.reps = reps < 1 ? 1 : reps;
+    std::vector<double> samples;
+    samples.reserve(static_cast<size_t>(out.reps));
+    for (int rep = 0; rep < out.reps; ++rep) {
+        const WallTimer timer;
+        fn();
+        samples.push_back(timer.elapsedMs());
+    }
+    std::sort(samples.begin(), samples.end());
+    out.min_ms = samples.front();
+    const size_t mid = samples.size() / 2;
+    out.median_ms = samples.size() % 2 == 1
+                        ? samples[mid]
+                        : 0.5 * (samples[mid - 1] + samples[mid]);
+    for (const double s : samples)
+        out.mean_ms += s;
+    out.mean_ms /= static_cast<double>(samples.size());
+    return out;
+}
 
 /**
  * Minimal ordered JSON object builder. Values are serialized as they

@@ -68,6 +68,14 @@ logSumExp(std::span<const double> lvals)
  * the online algorithm used when the n-ary form of Equation (3)
  * cannot buffer all terms. When a new maximum arrives, the partial
  * sum of exponentials is rescaled by exp(old_max - new_max).
+ *
+ * Zero terms (log value -inf) are skipped outright, so the -inf
+ * edge cases hold by construction and are pinned by tests: an
+ * empty or all--inf stream reports -inf (never NaN from
+ * -inf + log(0)), and a leading -inf leaves the state untouched,
+ * so {-inf, x...} accumulates exactly like {x...}. This matches
+ * logSumExp(span) and the vectorized logSumExpSimd on the same
+ * inputs.
  */
 class StreamingLogSumExp
 {

@@ -2,12 +2,13 @@
  * @file
  * Strict parsing of the engine's environment knobs.
  *
- * The engine reads PSTAT_THREADS, PSTAT_GRAIN, and PSTAT_COMPENSATED
- * from the environment. std::atol-style parsing silently accepts trailing
- * garbage ("8x" becomes 8) and saturates out-of-range values, which
- * turns a typo into a misconfigured run with no diagnostic. The
- * helpers here validate the full string and report failure as an
- * empty optional so callers can warn and fall back deliberately.
+ * The engine reads PSTAT_THREADS, PSTAT_GRAIN, PSTAT_COMPENSATED,
+ * and PSTAT_SIMD from the environment. std::atol-style parsing
+ * silently accepts trailing garbage ("8x" becomes 8) and saturates
+ * out-of-range values, which turns a typo into a misconfigured run
+ * with no diagnostic. The helpers here validate the full string and
+ * report failure as an empty optional so callers can warn and fall
+ * back deliberately.
  */
 
 #ifndef PSTAT_ENGINE_ENV_HH
@@ -16,6 +17,7 @@
 #include <cctype>
 #include <cerrno>
 #include <cstdlib>
+#include <initializer_list>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -67,6 +69,33 @@ parseBool(const char *text)
         return true;
     if (v == "false" || v == "no" || v == "off")
         return false;
+    return std::nullopt;
+}
+
+/**
+ * Parse a keyword knob (e.g. PSTAT_SIMD=auto|scalar|avx2|neon):
+ * leading whitespace is accepted (matching strtol), the rest is
+ * lowercased and must match one of the given tokens in full. Returns
+ * the matched token, or an empty optional for anything else —
+ * including tokens with trailing garbage — so callers can warn and
+ * fall back deliberately.
+ */
+inline std::optional<std::string>
+parseToken(const char *text,
+           std::initializer_list<std::string_view> tokens)
+{
+    if (text == nullptr || *text == '\0')
+        return std::nullopt;
+    while (std::isspace(static_cast<unsigned char>(*text)))
+        ++text;
+    std::string lowered;
+    for (const char *p = text; *p != '\0'; ++p)
+        lowered += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    for (const std::string_view token : tokens) {
+        if (lowered == token)
+            return lowered;
+    }
     return std::nullopt;
 }
 

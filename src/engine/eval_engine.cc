@@ -116,14 +116,13 @@ EvalEngine::claimChunk(size_t &begin, size_t &end)
  * per-index claiming abandoned the unclaimed indices).
  */
 void
-EvalEngine::drainChunks(const std::function<void(size_t)> &fn)
+EvalEngine::drainChunks(const std::function<void(size_t, size_t)> &fn)
 {
     size_t begin = 0;
     size_t end = 0;
     while (claimChunk(begin, end)) {
         try {
-            for (size_t i = begin; i < end; ++i)
-                fn(i);
+            fn(begin, end);
         } catch (...) {
             std::lock_guard<std::mutex> lock(mutex_);
             if (!first_error_)
@@ -139,7 +138,7 @@ EvalEngine::workerLoop()
 {
     uint64_t seen_epoch = 0;
     for (;;) {
-        const std::function<void(size_t)> *job = nullptr;
+        const std::function<void(size_t, size_t)> *job = nullptr;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_cv_.wait(lock, [&] {
@@ -173,11 +172,32 @@ EvalEngine::parallelFor(size_t n,
             fn(i);
         return;
     }
+    const std::function<void(size_t, size_t)> chunk_fn =
+        [&fn](size_t begin, size_t end) {
+            for (size_t i = begin; i < end; ++i)
+                fn(i);
+        };
+    runBatch(n, chunk_fn);
+}
+
+void
+EvalEngine::parallelForChunks(
+    size_t n, const std::function<void(size_t, size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    // The serial fast path hands the whole range over as one chunk —
+    // the widest possible span for the SoA batch kernels.
+    if (n == 1 || lanes_ == 1) {
+        fn(0, n);
+        return;
+    }
     runBatch(n, fn);
 }
 
 void
-EvalEngine::runBatch(size_t n, const std::function<void(size_t)> &fn)
+EvalEngine::runBatch(size_t n,
+                     const std::function<void(size_t, size_t)> &fn)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -207,9 +227,17 @@ EvalEngine::pvalueBatch(const FormatOps &format,
                         SumPolicy sum)
 {
     std::vector<EvalResult> out(columns.size());
-    parallelFor(columns.size(), [&](size_t i) {
-        out[i] = format.pbdPValue(columns[i].success_probs,
-                                  columns[i].k, sum);
+    // Each lane hands its whole claimed chunk to the format's batch
+    // entry, so the SIMD formats tile across the chunk's columns
+    // instead of dispatching one at a time.
+    parallelForChunks(columns.size(), [&](size_t begin, size_t end) {
+        std::vector<pbd::ColumnView> views;
+        views.reserve(end - begin);
+        for (size_t i = begin; i < end; ++i)
+            views.push_back(columns[i].view());
+        format.pbdPValueBatch(
+            views, sum,
+            std::span<EvalResult>(out).subspan(begin, end - begin));
     });
     return out;
 }
@@ -250,16 +278,28 @@ EvalEngine::screenedEval(
     // Stage 2: the exact O(N*K) DP only where the screen demands
     // it. Skipped slots get a magnitude placeholder (their estimate
     // is finite: -inf and deeply negative estimates never skip).
+    // Each chunk gathers its surviving columns into one batch call
+    // (the SIMD formats tile across them) and scatters the results
+    // back — same per-column bits as the serial per-index loop.
     out.results.resize(n);
-    parallelFor(n, [&](size_t i) {
-        if (out.skipped[i]) {
-            out.results[i].value = BigFloat::twoPow(
-                std::llround(out.estimates_log2[i]));
-            return;
+    parallelForChunks(n, [&](size_t begin, size_t end) {
+        std::vector<pbd::ColumnView> views;
+        std::vector<size_t> survivors;
+        for (size_t i = begin; i < end; ++i) {
+            if (out.skipped[i]) {
+                out.results[i].value = BigFloat::twoPow(
+                    std::llround(out.estimates_log2[i]));
+                continue;
+            }
+            survivors.push_back(i);
+            views.push_back(column(i));
         }
-        const pbd::ColumnView view = column(i);
-        out.results[i] =
-            format.pbdPValue(view.success_probs, view.k, sum);
+        if (survivors.empty())
+            return;
+        std::vector<EvalResult> evaluated(survivors.size());
+        format.pbdPValueBatch(views, sum, evaluated);
+        for (size_t j = 0; j < survivors.size(); ++j)
+            out.results[survivors[j]] = evaluated[j];
     });
     return out;
 }
@@ -284,10 +324,16 @@ EvalEngine::pvalueStream(const FormatOps &format,
     std::vector<EvalResult> results;
     while (auto shard = shards.next()) {
         results.resize(shard->size());
-        parallelFor(shard->size(), [&](size_t i) {
-            const pbd::ColumnView view = shard->column(i);
-            results[i] =
-                format.pbdPValue(view.success_probs, view.k, sum);
+        parallelForChunks(shard->size(), [&](size_t begin,
+                                             size_t end) {
+            std::vector<pbd::ColumnView> views;
+            views.reserve(end - begin);
+            for (size_t i = begin; i < end; ++i)
+                views.push_back(shard->column(i));
+            format.pbdPValueBatch(
+                views, sum,
+                std::span<EvalResult>(results).subspan(begin,
+                                                       end - begin));
         });
         sink(stats.shards, *shard, results);
         ++stats.shards;

@@ -152,6 +152,19 @@ class EvalEngine
                      const std::function<void(size_t)> &fn);
 
     /**
+     * Run fn(begin, end) over a partition of [0, n): each call is one
+     * claimed chunk of consecutive indices (grainForBatch-sized, so a
+     * lane sees whole multi-column spans, not single indices — the
+     * entry the SoA SIMD batch kernels ride on). The serial fast path
+     * is one fn(0, n) call. Blocks until the batch drains; exceptions
+     * from fn abandon that chunk's remainder and are rethrown on the
+     * calling thread. fn must be safe to call concurrently for
+     * disjoint chunks.
+     */
+    void parallelForChunks(
+        size_t n, const std::function<void(size_t, size_t)> &fn);
+
+    /**
      * Listing-2 p-values of every column, in column order, under the
      * chosen summation policy (defaulting to the process-wide
      * PSTAT_COMPENSATED knob, so every engine-backed caller honors
@@ -286,9 +299,10 @@ class EvalEngine
                  const pbd::ScreenConfig &config, SumPolicy sum);
 
     void workerLoop();
-    void runBatch(size_t n, const std::function<void(size_t)> &fn);
+    void runBatch(size_t n,
+                  const std::function<void(size_t, size_t)> &fn);
     bool claimChunk(size_t &begin, size_t &end);
-    void drainChunks(const std::function<void(size_t)> &fn);
+    void drainChunks(const std::function<void(size_t, size_t)> &fn);
 
     unsigned lanes_ = 1;
     size_t grain_override_ = 0; //!< 0 = auto-size per batch
@@ -297,7 +311,7 @@ class EvalEngine
     std::mutex mutex_;
     std::condition_variable work_cv_;
     std::condition_variable done_cv_;
-    const std::function<void(size_t)> *job_ = nullptr;
+    const std::function<void(size_t, size_t)> *job_ = nullptr;
     size_t next_ = 0;
     size_t total_ = 0;
     size_t batch_grain_ = 1; //!< resolved grain of the running batch

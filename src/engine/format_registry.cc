@@ -1,5 +1,6 @@
 #include "engine/format_registry.hh"
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -7,7 +8,9 @@
 
 #include "core/real_traits.hh"
 #include "engine/env.hh"
+#include "hmm/forward_simd.hh"
 #include "pbd/pbd.hh"
+#include "pbd/pbd_simd.hh"
 
 namespace pstat::engine
 {
@@ -34,6 +37,16 @@ defaultSumPolicy()
         return *parsed ? SumPolicy::Compensated : SumPolicy::Plain;
     }();
     return policy;
+}
+
+void
+FormatOps::pbdPValueBatch(std::span<const pbd::ColumnView> columns,
+                          SumPolicy sum,
+                          std::span<EvalResult> out) const
+{
+    assert(columns.size() == out.size());
+    for (size_t i = 0; i < columns.size(); ++i)
+        out[i] = pbdPValue(columns[i].success_probs, columns[i].k, sum);
 }
 
 namespace
@@ -103,6 +116,29 @@ class FormatOpsImpl final : public FormatOps
         return wrap(pbd::pvalue<T>(success_probs, k_threshold));
     }
 
+    void
+    pbdPValueBatch(std::span<const pbd::ColumnView> columns,
+                   SumPolicy sum,
+                   std::span<EvalResult> out) const override
+    {
+        // The IEEE carrier formats run the SoA SIMD batch kernel —
+        // bit-identical to the scalar per-column path by the
+        // pbd_simd_tile.hh contract (and ctest-enforced).
+        if constexpr (std::is_same_v<T, double> ||
+                      std::is_same_v<T, float>) {
+            assert(columns.size() == out.size());
+            std::vector<T> values(columns.size());
+            if (sum == SumPolicy::Compensated)
+                pbd::pvalueBatchCompensatedSimd<T>(columns, values);
+            else
+                pbd::pvalueBatchSimd<T>(columns, values);
+            for (size_t i = 0; i < values.size(); ++i)
+                out[i] = wrap(values[i]);
+        } else {
+            FormatOps::pbdPValueBatch(columns, sum, out);
+        }
+    }
+
     EvalResult
     hmmForward(const hmm::Model &model, std::span<const int> obs,
                Dataflow dataflow) const override
@@ -117,6 +153,13 @@ class FormatOpsImpl final : public FormatOps
             if constexpr (std::is_same_v<T, LogFloat>)
                 return wrap(
                     hmm::forwardLogNary32(model, obs).likelihood);
+        }
+        // Software dataflow on the IEEE carriers takes the vectorized
+        // state-tile kernel, bit-identical to the sequential loop.
+        if constexpr (std::is_same_v<T, double> ||
+                      std::is_same_v<T, float>) {
+            if (dataflow == Dataflow::Software)
+                return wrap(hmm::forwardSimd<T>(model, obs).likelihood);
         }
         return wrap(
             hmm::forward<T>(model, obs, reductionOf(dataflow))

@@ -30,6 +30,7 @@
 #include "hmm/decode.hh"
 #include "hmm/forward.hh"
 #include "hmm/model.hh"
+#include "pbd/dataset.hh"
 
 /**
  * @namespace pstat::engine
@@ -159,6 +160,19 @@ class FormatOps
     virtual EvalResult pbdPValue(std::span<const double> success_probs,
                                  int k_threshold,
                                  SumPolicy sum) const = 0;
+
+    /**
+     * pbdPValue over a span of columns in one call — the multi-column
+     * SoA entry the SIMD backends hook into. The base implementation
+     * is the per-column scalar loop; the binary64/binary32
+     * implementations override it with the vectorized batch kernel
+     * (pbd::pvalueBatchSimd), which is bit-identical to the scalar
+     * path by the simd.hh contract. @p out must have columns.size()
+     * entries.
+     */
+    virtual void pbdPValueBatch(std::span<const pbd::ColumnView> columns,
+                                SumPolicy sum,
+                                std::span<EvalResult> out) const;
 
     /** Listing-1/3 HMM forward likelihood. */
     virtual EvalResult hmmForward(const hmm::Model &model,

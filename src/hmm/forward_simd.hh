@@ -1,0 +1,84 @@
+/**
+ * @file
+ * SIMD entry points for the HMM forward pass.
+ *
+ * forwardSimd<T> vectorizes the Listing-1 state loop within one
+ * sequence (forward_simd_tile.hh) and is bit-identical to
+ * forward<T>(Reduction::Sequential) for T = double / float — the
+ * engine's Software dataflow routes through it for those formats,
+ * moving no committed baseline. Isa::Scalar runs the original
+ * forward<T> (the legacy path).
+ *
+ * forwardLogNarySimd is the Listing-3 n-ary-LSE dataflow with every
+ * reduction evaluated by the fixed-striped logSumExpSimd. Its
+ * reduction ORDER differs from forwardLogNary's sequential n-ary LSE
+ * — so it is a separate entry point (benchmarked, never silently
+ * substituted) — but it is ISA-invariant: every backend returns the
+ * same bits, with the scalar striped reference as the oracle.
+ */
+
+#ifndef PSTAT_HMM_FORWARD_SIMD_HH
+#define PSTAT_HMM_FORWARD_SIMD_HH
+
+#include <span>
+
+#include "core/simd.hh"
+#include "hmm/forward.hh"
+#include "hmm/model.hh"
+
+namespace pstat::hmm
+{
+
+/**
+ * Listing-1 forward likelihood with the state loop vectorized;
+ * bit-identical to forward<T>(model, obs, Reduction::Sequential).
+ * T is double or float.
+ */
+template <typename T>
+ForwardOutcome<T> forwardSimd(const Model &model,
+                              std::span<const int> obs,
+                              simd::Isa isa = simd::activeIsa());
+
+extern template ForwardOutcome<double>
+forwardSimd<double>(const Model &, std::span<const int>, simd::Isa);
+extern template ForwardOutcome<float>
+forwardSimd<float>(const Model &, std::span<const int>, simd::Isa);
+
+/**
+ * Listing-3 n-ary-LSE forward pass with striped-vector reductions
+ * (log-space binary64 carrier). ISA-invariant by the logSumExpSimd
+ * contract; NOT bit-comparable to forwardLogNary (different, but
+ * fixed, reduction order).
+ */
+ForwardOutcome<LogDouble>
+forwardLogNarySimd(const Model &model, std::span<const int> obs,
+                   simd::Isa isa = simd::activeIsa());
+
+/** The binary32-carrier variant of forwardLogNarySimd. */
+ForwardOutcome<LogFloat>
+forwardLogNary32Simd(const Model &model, std::span<const int> obs,
+                     simd::Isa isa = simd::activeIsa());
+
+namespace detail
+{
+
+/** AVX2 tiles (forward_simd_avx2.cc, -mavx2; gate on isaSupported). */
+ForwardOutcome<double> forwardTileAvx2F64(const Model &model,
+                                          std::span<const int> obs);
+ForwardOutcome<float> forwardTileAvx2F32(const Model &model,
+                                         std::span<const int> obs);
+
+/**
+ * The portable ArrayVec tile at the AVX2 widths: the reference the
+ * tests use to validate the state-tiling bit-identity on any host.
+ */
+ForwardOutcome<double>
+forwardTilePortableF64(const Model &model, std::span<const int> obs);
+ForwardOutcome<float>
+forwardTilePortableF32(const Model &model, std::span<const int> obs);
+
+} // namespace detail
+
+} // namespace pstat::hmm
+
+#endif // PSTAT_HMM_FORWARD_SIMD_HH

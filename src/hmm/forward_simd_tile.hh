@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The Listing-1 forward pass with the state loop vectorized,
+ * templated over a simd.hh vector wrapper. Included by the baseline
+ * and per-ISA translation units (forward_simd.cc,
+ * forward_simd_avx2.cc); not part of the public API — use
+ * hmm::forwardSimd.
+ *
+ * Vectorization is across destination states q within one sequence:
+ * each lane carries one q, and the inner path sum runs p
+ * sequentially with alpha_prev[p] broadcast —
+ *     path[q] = ((0 + a_0q*ap_0) + a_1q*ap_1) + ...
+ * — which is, per lane, exactly the operation sequence of
+ * forward<T>(Reduction::Sequential). The transition matrix is
+ * already row-major in p with q contiguous, so the vector loads are
+ * natural; the emission matrix is transposed once (bT[ot*H + q]) to
+ * make the per-step b column contiguous too. Leftover states (H not
+ * a lane multiple) run the scalar loop. Bit-identity with the
+ * sequential scalar oracle therefore holds for every state count,
+ * and the tests enforce it for binary64 and binary32.
+ */
+
+#ifndef PSTAT_HMM_FORWARD_SIMD_TILE_HH
+#define PSTAT_HMM_FORWARD_SIMD_TILE_HH
+
+#include <span>
+#include <vector>
+
+#include "core/real_traits.hh"
+#include "hmm/forward.hh"
+#include "hmm/model.hh"
+
+namespace pstat::hmm::detail
+{
+
+/** forward<T>(Sequential) with the q loop in Vec-width lanes. */
+template <typename Vec>
+ForwardOutcome<typename Vec::Scalar>
+forwardTileImpl(const Model &model, std::span<const int> obs)
+{
+    using T = typename Vec::Scalar;
+    using RT = pstat::RealTraits<T>;
+    constexpr int W = Vec::width;
+    const int h = model.num_states;
+    ForwardOutcome<T> out;
+    if (obs.empty())
+        return out;
+
+    // Convert inputs once, exactly as forward<T> does.
+    std::vector<T> a(static_cast<size_t>(h) * h);
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = RT::fromDouble(model.a[i]);
+    std::vector<T> b(model.b.size());
+    for (size_t i = 0; i < b.size(); ++i)
+        b[i] = RT::fromDouble(model.b[i]);
+    // bT[s * H + q] = b[q * S + s]: the per-step emission column,
+    // contiguous in q (an exact copy, so values are unchanged).
+    std::vector<T> bt(model.b.size());
+    for (int q = 0; q < h; ++q) {
+        for (int s = 0; s < model.num_symbols; ++s)
+            bt[static_cast<size_t>(s) * h + q] =
+                b[static_cast<size_t>(q) * model.num_symbols + s];
+    }
+
+    std::vector<T> alpha(h);
+    std::vector<T> alpha_prev(h);
+    for (int q = 0; q < h; ++q) {
+        alpha_prev[q] =
+            RT::fromDouble(model.pi[q]) *
+            b[static_cast<size_t>(q) * model.num_symbols + obs[0]];
+    }
+
+    const int wfull = h - h % W;
+    for (size_t t = 1; t < obs.size(); ++t) {
+        const int ot = obs[t];
+        const T *brow = &bt[static_cast<size_t>(ot) * h];
+        int q0 = 0;
+        for (; q0 < wfull; q0 += W) {
+            Vec path = Vec::broadcastZero();
+            for (int p = 0; p < h; ++p) {
+                path = path +
+                       Vec::broadcast(alpha_prev[p]) *
+                           Vec::load(&a[static_cast<size_t>(p) * h +
+                                        q0]);
+            }
+            (path * Vec::load(brow + q0)).store(&alpha[q0]);
+        }
+        for (int q = q0; q < h; ++q) {
+            T path_sum = RT::zero();
+            for (int p = 0; p < h; ++p) {
+                path_sum = path_sum +
+                           alpha_prev[p] *
+                               a[static_cast<size_t>(p) * h + q];
+            }
+            alpha[q] = path_sum * brow[q];
+        }
+        std::swap(alpha, alpha_prev);
+
+        if (out.first_underflow_step < 0) {
+            bool all_zero = true;
+            for (int q = 0; q < h; ++q)
+                all_zero = all_zero && RT::isZero(alpha_prev[q]);
+            if (all_zero)
+                out.first_underflow_step = static_cast<int>(t);
+        }
+    }
+
+    T total = RT::zero();
+    for (int q = 0; q < h; ++q)
+        total = total + alpha_prev[q];
+    out.likelihood = total;
+    return out;
+}
+
+} // namespace pstat::hmm::detail
+
+#endif // PSTAT_HMM_FORWARD_SIMD_TILE_HH

@@ -162,6 +162,27 @@ makeDataset(const DatasetConfig &config, const std::string &name)
     return out;
 }
 
+ColumnDataset
+makeScanDataset(const DatasetConfig &config,
+                double min_allele_fraction, const std::string &name)
+{
+    stats::Rng rng(config.seed);
+    ColumnDataset out;
+    out.name = name;
+    out.columns.reserve(config.num_columns);
+    for (int i = 0; i < config.num_columns; ++i) {
+        Column col = makeBackgroundColumn(rng, config);
+        // The caller's detection threshold, not the observed noise:
+        // K = ceil(min AF * coverage), floored at 2 so every column
+        // runs a real (if tiny) tail DP.
+        col.k = std::max(
+            2, static_cast<int>(std::ceil(min_allele_fraction *
+                                          col.coverage())));
+        out.columns.push_back(std::move(col));
+    }
+    return out;
+}
+
 DatasetStats
 makeDatasetStats(const DatasetConfig &config, const std::string &name)
 {

@@ -173,6 +173,21 @@ std::vector<DatasetStats> makePaperDatasetStats(int columns_per_dataset,
                                                 uint64_t seed);
 
 /**
+ * An allele-fraction-threshold calling scan: every column is a
+ * realistic background column (Phred-quality read pool, lognormal
+ * coverage from `config`), but K is the caller's detection threshold
+ * max(2, ceil of min_allele_fraction * N) instead of the observed
+ * noise count. This is the LoFreq screening workload shape — "could
+ * a variant at the minimum reportable fraction hide here?" asked of
+ * every column in a region — and the multi-column regime the SoA
+ * SIMD batch kernels target: thousands of columns whose K sits in a
+ * handful of small classes. variant_fraction is ignored.
+ */
+ColumnDataset makeScanDataset(const DatasetConfig &config,
+                              double min_allele_fraction,
+                              const std::string &name);
+
+/**
  * Rough log2 of the expected p-value of a column (Stirling-style
  * estimate); used by the generator to hit magnitude targets and
  * handy for quick triage. Not used in accuracy measurements.

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * AVX2 instantiation of the Listing-2 SoA tile kernel. Compiled with
+ * -mavx2 (see CMakeLists); callable only when
+ * simd::isaSupported(Isa::Avx2) said yes at runtime.
+ */
+
+#include "core/simd.hh"
+#include "pbd/pbd_simd.hh"
+#include "pbd/pbd_simd_tile.hh"
+
+namespace pstat::pbd::detail
+{
+
+void
+pvalueTileAvx2(const ColumnView *cols, double *out, bool compensated)
+{
+    pvalueTileRun<simd::Avx2DoubleVec>(cols, out, compensated);
+}
+
+void
+pvalueTileAvx2(const ColumnView *cols, float *out, bool compensated)
+{
+    pvalueTileRun<simd::Avx2FloatVec>(cols, out, compensated);
+}
+
+void
+pvalueColumnRowsAvx2(const ColumnView &column, double *out,
+                     bool compensated)
+{
+    *out = pvalueColumnRowsRun<simd::Avx2DoubleVec>(column,
+                                                    compensated);
+}
+
+void
+pvalueColumnRowsAvx2(const ColumnView &column, float *out,
+                     bool compensated)
+{
+    *out =
+        pvalueColumnRowsRun<simd::Avx2FloatVec>(column, compensated);
+}
+
+} // namespace pstat::pbd::detail

@@ -191,9 +191,13 @@ def run_guard(args):
             print("note %s: no baseline (allowed by --allow-extra)" %
                   name)
         else:
-            print("FAIL %s: run emitted a record with no committed "
-                  "baseline — add one (tools/refresh_baselines.sh)" %
-                  name)
+            print("FAIL %s: the run emitted a record with no "
+                  "committed baseline" % name)
+            print("  new bench? generate and commit its baseline:")
+            print("    tools/refresh_baselines.sh")
+            print("    git add %s" %
+                  os.path.join(args.baseline_dir, name))
+            print("  one-off local record: rerun with --allow-extra")
             status = 1
     return status
 
@@ -250,6 +254,54 @@ def self_test():
     # Nulls (non-finite doubles serialize as null) compare exactly.
     assert run({"worst": None}, {"worst": None}) == []
     assert run({"worst": None}, {"worst": 1.0}) != []
+
+    # run_guard end to end, against real (temporary) directories:
+    # the missing-baseline path must fail with the actionable
+    # refresh-baselines hint, and --allow-extra must downgrade it.
+    import contextlib
+    import io
+    import tempfile
+
+    def guard(base_files, run_files, allow_extra=False):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_dir = os.path.join(tmp, "baselines")
+            run_dir = os.path.join(tmp, "run")
+            os.mkdir(base_dir)
+            os.mkdir(run_dir)
+            for name, doc in base_files.items():
+                with open(os.path.join(base_dir, name), "w") as f:
+                    json.dump(doc, f)
+            for name, doc in run_files.items():
+                with open(os.path.join(run_dir, name), "w") as f:
+                    json.dump(doc, f)
+            args = argparse.Namespace(
+                run_dir=run_dir, baseline_dir=base_dir,
+                timing_tolerance=25.0, timing_floor=5.0,
+                accuracy_rtol=0.0, allow_extra=allow_extra)
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                status = run_guard(args)
+            return status, out.getvalue()
+
+    record = {"bench": "x", "underflows": 3}
+    status, text = guard({"BENCH_x.json": record},
+                         {"BENCH_x.json": record,
+                          "BENCH_new.json": record})
+    assert status == 1, "a record with no baseline must fail"
+    assert "no committed baseline" in text
+    assert "tools/refresh_baselines.sh" in text, \
+        "the failure must name the refresh script"
+    assert "BENCH_new.json" in text
+    status, text = guard({"BENCH_x.json": record},
+                         {"BENCH_x.json": record,
+                          "BENCH_new.json": record},
+                         allow_extra=True)
+    assert status == 0, "--allow-extra tolerates the extra record"
+    assert "note BENCH_new.json" in text
+    status, text = guard({"BENCH_x.json": record}, {})
+    assert status == 1, "a baseline with no run record must fail"
+    assert "emitted no record" in text
+
     print("self-test ok")
     return 0
 

@@ -18,11 +18,14 @@ mkdir -p "$out_dir"
 export PSTAT_SCALE=0.2
 export PSTAT_JSON_DIR=$out_dir
 
+"$build_dir"/bench_fig06_forward_perf
+"$build_dir"/bench_fig07_column_perf
 "$build_dir"/bench_fig09_pvalue_accuracy
 PSTAT_FIG10_TLARGE=600 "$build_dir"/bench_fig10_vicar_cdf
 "$build_dir"/bench_fig11_lofreq_cdf
 "$build_dir"/bench_fig12_posterior_accuracy
 "$build_dir"/bench_fig13_screening
 "$build_dir"/bench_fig14_streaming
+"$build_dir"/bench_fig15_simd
 
 echo "baselines refreshed under $out_dir"
