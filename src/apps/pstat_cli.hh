@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The `pstat` command-line front end as a library entry point.
+ *
+ * main() (src/apps/pstat_main.cc) is a one-line wrapper around
+ * pstatMain so the CLI's error paths — unknown subcommands, corrupt
+ * or truncated shards, malformed knob values — are testable
+ * in-process: tests/test_cli.cc drives pstatMain with argv arrays
+ * and asserts on exit codes and captured stderr without spawning
+ * processes.
+ *
+ * Exit codes: 0 success, 1 runtime failure (I/O, corrupt shard),
+ * 2 usage error (unknown command/option, malformed value).
+ */
+
+#ifndef PSTAT_APPS_PSTAT_CLI_HH
+#define PSTAT_APPS_PSTAT_CLI_HH
+
+namespace pstat::apps
+{
+
+/** Run the pstat CLI; returns the process exit code. */
+int pstatMain(int argc, const char *const *argv);
+
+} // namespace pstat::apps
+
+#endif // PSTAT_APPS_PSTAT_CLI_HH

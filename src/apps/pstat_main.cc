@@ -1,430 +1,14 @@
 /**
  * @file
- * `pstat` — the command-line front end over shard files.
- *
- * Four subcommands cover the shard lifecycle:
- *
- *   gen     synthesize LoFreq-style column datasets straight into
- *           shard files (streaming generation: O(column) memory, any
- *           dataset size)
- *   info    validate shards (header fields, CRC) and print their
- *           metadata
- *   eval    streamed exact p-value evaluation in any registered
- *           format, with variant calls at the LoFreq 2^-200
- *           threshold
- *   screen  streamed two-stage screened evaluation (estimate
- *           everywhere, exact DP inside the guard band)
- *
- * The process-wide knobs apply unchanged: PSTAT_THREADS sets the
- * engine lanes, PSTAT_COMPENSATED the summation policy, and
- * PSTAT_GUARD_BITS the default guard band of `screen`.
+ * Process entry point of the `pstat` CLI. All logic lives in
+ * apps/pstat_cli.cc so the error paths are testable in-process
+ * (tests/test_cli.cc).
  */
 
-#include <cstdio>
-#include <cstring>
-#include <filesystem>
-#include <limits>
-#include <optional>
-#include <string>
-#include <system_error>
-#include <vector>
-
-#include "apps/lofreq.hh"
-#include "engine/env.hh"
-#include "engine/eval_engine.hh"
-#include "engine/format_registry.hh"
-#include "io/shard.hh"
-#include "io/shard_stream.hh"
-#include "pbd/dataset.hh"
-#include "pbd/screen.hh"
-
-namespace
-{
-
-using namespace pstat;
-
-int
-usage(std::FILE *out)
-{
-    std::fprintf(
-        out,
-        "pstat — shard-file tooling for the pstat workloads\n"
-        "\n"
-        "usage:\n"
-        "  pstat gen    --out DIR [--shards N=4] [--columns N=1000]\n"
-        "               [--seed S=1] [--prefix NAME=cols]\n"
-        "  pstat info   SHARD...\n"
-        "  pstat eval   --format ID [--queue N=2] SHARD...\n"
-        "  pstat screen --format ID [--guard-bits B] [--queue N=2]\n"
-        "               SHARD...\n"
-        "\n"
-        "gen writes Columns shards of the paper's LoFreq column\n"
-        "profile (streaming: any size at O(column) memory); info\n"
-        "validates header + CRC and prints metadata; eval streams\n"
-        "exact p-values and calls variants at the 2^-200 threshold;\n"
-        "screen streams the two-stage estimate-then-refine pipeline.\n"
-        "\n"
-        "environment: PSTAT_THREADS (engine lanes), PSTAT_COMPENSATED\n"
-        "(summation policy), PSTAT_GUARD_BITS (screen default band).\n");
-    return out == stdout ? 0 : 2;
-}
-
-/** Minimal option scanner: --name value pairs + positional tail. */
-struct Args
-{
-    std::vector<std::pair<std::string, std::string>> options;
-    std::vector<std::string> positional;
-};
-
-std::optional<Args>
-parseArgs(int argc, char **argv, int first,
-          const std::vector<std::string> &known)
-{
-    Args out;
-    for (int i = first; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0) {
-            out.positional.push_back(arg);
-            continue;
-        }
-        const std::string name = arg.substr(2);
-        bool recognized = false;
-        for (const auto &k : known)
-            recognized = recognized || k == name;
-        if (!recognized) {
-            std::fprintf(stderr, "pstat: unknown option --%s\n",
-                         name.c_str());
-            return std::nullopt;
-        }
-        if (i + 1 >= argc) {
-            std::fprintf(stderr, "pstat: --%s needs a value\n",
-                         name.c_str());
-            return std::nullopt;
-        }
-        out.options.emplace_back(name, argv[++i]);
-    }
-    return out;
-}
-
-std::optional<std::string>
-option(const Args &args, const std::string &name)
-{
-    for (const auto &[k, v] : args.options)
-        if (k == name)
-            return v;
-    return std::nullopt;
-}
-
-std::optional<long>
-optionLong(const Args &args, const std::string &name, long fallback)
-{
-    const auto text = option(args, name);
-    if (!text)
-        return fallback;
-    const auto parsed = engine::parseLong(text->c_str());
-    if (!parsed) {
-        std::fprintf(stderr, "pstat: --%s wants an integer, got "
-                             "\"%s\"\n",
-                     name.c_str(), text->c_str());
-        return std::nullopt;
-    }
-    return parsed;
-}
-
-const engine::FormatOps *
-lookupFormat(const Args &args)
-{
-    const auto id = option(args, "format");
-    if (!id) {
-        std::fprintf(stderr, "pstat: --format is required\n");
-        return nullptr;
-    }
-    const auto *format = engine::FormatRegistry::instance().find(*id);
-    if (format == nullptr) {
-        std::fprintf(stderr,
-                     "pstat: unknown format \"%s\" (ids:", id->c_str());
-        for (const auto &known :
-             engine::FormatRegistry::instance().ids())
-            std::fprintf(stderr, " %s", known.c_str());
-        std::fprintf(stderr, ")\n");
-    }
-    return format;
-}
-
-std::optional<io::ShardStreamConfig>
-streamConfig(const Args &args)
-{
-    const auto queue = optionLong(args, "queue", 2);
-    if (!queue)
-        return std::nullopt;
-    if (*queue <= 0) {
-        std::fprintf(stderr, "pstat: --queue must be positive\n");
-        return std::nullopt;
-    }
-    io::ShardStreamConfig config;
-    config.queue_capacity = static_cast<size_t>(*queue);
-    return config;
-}
-
-// ---------------------------------------------------------------- gen
-
-int
-runGen(const Args &args)
-{
-    const auto out_dir = option(args, "out");
-    if (!out_dir) {
-        std::fprintf(stderr, "pstat: gen needs --out DIR\n");
-        return 2;
-    }
-    const auto shards = optionLong(args, "shards", 4);
-    const auto columns = optionLong(args, "columns", 1000);
-    const auto seed = optionLong(args, "seed", 1);
-    if (!shards || !columns || !seed)
-        return 2;
-    if (*shards <= 0 || *columns <= 0) {
-        std::fprintf(stderr,
-                     "pstat: --shards/--columns must be positive\n");
-        return 2;
-    }
-    if (*columns > std::numeric_limits<int>::max()) {
-        // DatasetConfig::num_columns is an int; a silent narrowing
-        // here would wrap huge requests into tiny (or empty) shards.
-        std::fprintf(stderr,
-                     "pstat: --columns %ld exceeds the per-shard "
-                     "limit %d (use more shards)\n",
-                     *columns, std::numeric_limits<int>::max());
-        return 2;
-    }
-    const std::string prefix =
-        option(args, "prefix").value_or("cols");
-
-    std::error_code dir_error;
-    std::filesystem::create_directories(*out_dir, dir_error);
-    if (dir_error) {
-        std::fprintf(stderr, "pstat: cannot create %s: %s\n",
-                     out_dir->c_str(),
-                     dir_error.message().c_str());
-        return 1;
-    }
-
-    for (long s = 0; s < *shards; ++s) {
-        pbd::DatasetConfig config;
-        config.num_columns = static_cast<int>(*columns);
-        // Per-shard seeds and mixes mirror makePaperDatasets: each
-        // shard is a coherent dataset slice, not a reshuffle.
-        config.median_coverage = 900.0 + 420.0 * (s % 8);
-        config.coverage_sigma = 0.55 + 0.05 * (s % 4);
-        config.mean_phred = 27.0 + 2.0 * (s % 3);
-        config.variant_fraction = 0.055 + 0.006 * (s % 8);
-        config.seed = static_cast<uint64_t>(*seed) * 1000003ULL +
-                      static_cast<uint64_t>(s);
-
-        char name[64];
-        std::snprintf(name, sizeof(name), "%s_%04ld.shard",
-                      prefix.c_str(), s);
-        const std::string path = *out_dir + "/" + name;
-        io::ShardWriter writer(path, io::ShardPayload::Columns);
-        pbd::generateColumns(config, [&](pbd::Column &&column) {
-            writer.add(column);
-        });
-        writer.close();
-        std::printf("%s: %zu columns, %zu payload bytes\n",
-                    path.c_str(), writer.items(),
-                    writer.payloadBytes());
-    }
-    return 0;
-}
-
-// --------------------------------------------------------------- info
-
-int
-runInfo(const Args &args)
-{
-    if (args.positional.empty()) {
-        std::fprintf(stderr, "pstat: info needs shard files\n");
-        return 2;
-    }
-    int failures = 0;
-    for (const auto &path : args.positional) {
-        try {
-            const io::ShardReader reader(path);
-            const char *kind =
-                reader.payload() == io::ShardPayload::Columns
-                    ? "columns"
-                    : "sequences";
-            std::printf("%s: v%u %s, %zu records, %zu payload bytes "
-                        "(%zu file), CRC ok\n",
-                        path.c_str(), reader.version(), kind,
-                        reader.size(), reader.payloadBytes(),
-                        reader.fileBytes());
-        } catch (const io::ShardError &error) {
-            std::fprintf(stderr, "pstat: %s\n", error.what());
-            ++failures;
-        }
-    }
-    return failures == 0 ? 0 : 1;
-}
-
-// --------------------------------------------------------------- eval
-
-int
-runEval(const Args &args)
-{
-    const auto *format = lookupFormat(args);
-    if (format == nullptr)
-        return 2;
-    if (args.positional.empty()) {
-        std::fprintf(stderr, "pstat: eval needs shard files\n");
-        return 2;
-    }
-    const auto config = streamConfig(args);
-    if (!config)
-        return 2;
-
-    engine::EvalEngine engine;
-    const BigFloat threshold = apps::lofreqThreshold();
-    size_t calls = 0;
-    size_t invalid = 0;
-    size_t underflows = 0;
-
-    io::ShardStream stream(args.positional, *config);
-    try {
-        const auto stats = engine.pvalueStream(
-            *format, stream,
-            [&](size_t, const io::ShardReader &shard,
-                std::span<const engine::EvalResult> results) {
-                size_t shard_calls = 0;
-                for (const auto &r : results) {
-                    if (r.invalid)
-                        ++invalid;
-                    if (r.underflow)
-                        ++underflows;
-                    if (r.value.isFinite() && r.value < threshold)
-                        ++shard_calls;
-                }
-                calls += shard_calls;
-                std::printf("%s: %zu columns, %zu calls\n",
-                            shard.path().c_str(), shard.size(),
-                            shard_calls);
-            });
-        std::printf("total: %zu shards, %zu columns, %zu variant "
-                    "calls (p < 2^-200), %zu invalid, %zu "
-                    "underflows [%s, %u lanes, peak queue %zu, peak "
-                    "mapped %zu bytes]\n",
-                    stats.shards, stats.items, calls, invalid,
-                    underflows, format->id().c_str(),
-                    engine.threadCount(), stats.peak_queue_depth,
-                    stats.peak_mapped_bytes);
-    } catch (const io::ShardError &error) {
-        std::fprintf(stderr, "pstat: %s\n", error.what());
-        return 1;
-    }
-    return 0;
-}
-
-// ------------------------------------------------------------- screen
-
-int
-runScreen(const Args &args)
-{
-    const auto *format = lookupFormat(args);
-    if (format == nullptr)
-        return 2;
-    if (args.positional.empty()) {
-        std::fprintf(stderr, "pstat: screen needs shard files\n");
-        return 2;
-    }
-    const auto stream_config = streamConfig(args);
-    if (!stream_config)
-        return 2;
-
-    pbd::ScreenConfig screen;
-    double guard_default = screen.guard_band_log2;
-    if (const char *env = std::getenv("PSTAT_GUARD_BITS"))
-        guard_default = std::atof(env);
-    screen.guard_band_log2 = guard_default;
-    if (const auto guard = option(args, "guard-bits"))
-        screen.guard_band_log2 = std::atof(guard->c_str());
-
-    engine::EvalEngine engine;
-    pbd::ScreenStats totals;
-
-    io::ShardStream stream(args.positional, *stream_config);
-    try {
-        const auto stats = engine.pvalueScreenedStream(
-            *format, stream,
-            [&](size_t, const io::ShardReader &shard,
-                const engine::ScreenedPValueBatch &batch) {
-                totals.columns += batch.stats.columns;
-                totals.skipped += batch.stats.skipped;
-                totals.evaluated += batch.stats.evaluated;
-                totals.guard_band_hits += batch.stats.guard_band_hits;
-                std::printf("%s: %zu columns, %zu skipped, %zu "
-                            "evaluated, %zu guard hits\n",
-                            shard.path().c_str(), batch.stats.columns,
-                            batch.stats.skipped, batch.stats.evaluated,
-                            batch.stats.guard_band_hits);
-            },
-            screen);
-        const double skip_frac =
-            totals.columns > 0
-                ? static_cast<double>(totals.skipped) /
-                      static_cast<double>(totals.columns)
-                : 0.0;
-        std::printf("total: %zu shards, %zu columns, %zu skipped "
-                    "(%.1f%%), %zu evaluated, %zu guard hits "
-                    "[guard %g bits, %s, %u lanes]\n",
-                    stats.shards, totals.columns, totals.skipped,
-                    100.0 * skip_frac, totals.evaluated,
-                    totals.guard_band_hits, screen.guard_band_log2,
-                    format->id().c_str(), engine.threadCount());
-    } catch (const io::ShardError &error) {
-        std::fprintf(stderr, "pstat: %s\n", error.what());
-        return 1;
-    }
-    return 0;
-}
-
-} // namespace
+#include "apps/pstat_cli.hh"
 
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
-        return usage(stderr);
-    const std::string command = argv[1];
-    if (command == "--help" || command == "-h" || command == "help")
-        return usage(stdout);
-
-    std::vector<std::string> known;
-    if (command == "gen")
-        known = {"out", "shards", "columns", "seed", "prefix"};
-    else if (command == "info")
-        known = {};
-    else if (command == "eval")
-        known = {"format", "queue"};
-    else if (command == "screen")
-        known = {"format", "queue", "guard-bits"};
-    else {
-        std::fprintf(stderr, "pstat: unknown command \"%s\"\n",
-                     command.c_str());
-        return usage(stderr);
-    }
-
-    const auto args = parseArgs(argc, argv, 2, known);
-    if (!args)
-        return 2;
-
-    try {
-        if (command == "gen")
-            return runGen(*args);
-        if (command == "info")
-            return runInfo(*args);
-        if (command == "eval")
-            return runEval(*args);
-        return runScreen(*args);
-    } catch (const std::exception &error) {
-        std::fprintf(stderr, "pstat: %s\n", error.what());
-        return 1;
-    }
+    return pstat::apps::pstatMain(argc, argv);
 }

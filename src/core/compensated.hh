@@ -79,6 +79,15 @@ class NeumaierSum
     /** The compensated total so far. */
     T value() const { return sum_ + comp_; }
 
+    /**
+     * The running compensation term — the accumulated rounding
+     * residual the plain sum would have discarded. Exposed so error
+     * analyses (engine/escalate.hh) and tests can observe how much
+     * the compensation actually recovered; |compensation| is itself
+     * a witness of the plain sum's accumulation error.
+     */
+    T compensation() const { return comp_; }
+
   private:
     T sum_ = RealTraits<T>::zero();
     T comp_ = RealTraits<T>::zero();

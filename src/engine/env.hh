@@ -45,6 +45,29 @@ parseLong(const char *text)
 }
 
 /**
+ * Parse a floating-point knob with full-string validation (strtod
+ * semantics for the accepted prefix): leading whitespace is fine, but
+ * trailing garbage, an empty string, an overflowing magnitude, or a
+ * NaN yields an empty optional instead of a silently mangled number.
+ * Infinities are accepted — some knobs (thresholds in log2) are
+ * legitimately unbounded.
+ */
+inline std::optional<double>
+parseDouble(const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const double parsed = std::strtod(text, &end);
+    if (end == text || *end != '\0' || errno == ERANGE ||
+        parsed != parsed) {
+        return std::nullopt;
+    }
+    return parsed;
+}
+
+/**
  * Parse a boolean knob: a validated integer (nonzero is true) or one
  * of the case-insensitive tokens true/false/yes/no/on/off. Leading
  * whitespace is accepted on both paths (matching strtol); anything

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "engine/escalate.hh"
 #include "engine/format_registry.hh"
 #include "io/shard_stream.hh"
 #include "pbd/dataset.hh"
@@ -99,6 +100,15 @@ using ShardResultSink =
 using ScreenedShardSink =
     std::function<void(size_t shard_index, const io::ShardReader &shard,
                        const ScreenedPValueBatch &batch)>;
+
+/**
+ * Per-shard delivery of a streamed adaptive evaluation. The batch
+ * (and the shard it references) is only valid for the duration of
+ * the call.
+ */
+using AdaptiveShardSink =
+    std::function<void(size_t shard_index, const io::ShardReader &shard,
+                       const AdaptiveBatch &batch)>;
 
 /** A persistent worker pool evaluating kernel batches. */
 class EvalEngine
@@ -226,6 +236,54 @@ class EvalEngine
                          SumPolicy sum = defaultSumPolicy());
 
     /**
+     * Adaptive precision escalation over a column batch
+     * (engine/escalate.hh): analytic bounds certify what they can,
+     * then columns climb the ladder cheapest-tier-first, each tier's
+     * result wrapped in a certified interval, until the CertConfig
+     * criteria hold or the ladder tops out. When @p screen is set,
+     * the two-stage screen of pvalueScreenedBatch runs first and
+     * skipped columns keep their placeholder — the skip mask takes
+     * precedence; skipped columns are never escalated. Throws
+     * std::invalid_argument on an empty ladder or a CertConfig with
+     * no criterion (or non-negative/non-finite ones).
+     */
+    AdaptiveBatch
+    pvalueAdaptiveBatch(const Ladder &ladder,
+                        std::span<const pbd::Column> columns,
+                        const CertConfig &cert,
+                        const std::optional<pbd::ScreenConfig> &screen =
+                            std::nullopt,
+                        SumPolicy sum = defaultSumPolicy());
+
+    /**
+     * Adaptive escalation of HMM forward likelihoods: each job climbs
+     * the ladder until its running-error interval
+     * (engine/escalate.hh forwardInterval) certifies the CertConfig
+     * criteria. No analytic tier or screen exists for sequences; the
+     * ladder's first certifiable tier does the first real work.
+     */
+    AdaptiveBatch
+    forwardAdaptiveBatch(const Ladder &ladder,
+                         std::span<const ForwardJob> jobs,
+                         const CertConfig &cert,
+                         Dataflow dataflow = Dataflow::Accelerator);
+
+    /**
+     * Streamed adaptive escalation over Columns shards: per shard,
+     * the same pipeline as pvalueAdaptiveBatch (bit-identical
+     * results on the same columns), with peak memory O(shard). Each
+     * shard's AdaptiveBatch is handed to the sink before the shard
+     * is unmapped.
+     */
+    StreamStats
+    pvalueAdaptiveStream(const Ladder &ladder, io::ShardStream &shards,
+                         const AdaptiveShardSink &sink,
+                         const CertConfig &cert,
+                         const std::optional<pbd::ScreenConfig> &screen =
+                             std::nullopt,
+                         SumPolicy sum = defaultSumPolicy());
+
+    /**
      * Streamed HMM forward evaluation over Sequences shards: every
      * record is an observation sequence of the given (borrowed)
      * model, evaluated over the pool. Results are bit-identical to
@@ -297,6 +355,18 @@ class EvalEngine
     screenedEval(const FormatOps &format, size_t n,
                  const std::function<pbd::ColumnView(size_t)> &column,
                  const pbd::ScreenConfig &config, SumPolicy sum);
+
+    /**
+     * The one adaptive escalation pipeline over any column accessor
+     * — owned Columns (pvalueAdaptiveBatch) or mmap-backed views
+     * (pvalueAdaptiveStream) — so the two paths cannot drift.
+     */
+    AdaptiveBatch
+    adaptiveEval(const Ladder &ladder, size_t n,
+                 const std::function<pbd::ColumnView(size_t)> &column,
+                 const CertConfig &cert,
+                 const std::optional<pbd::ScreenConfig> &screen,
+                 SumPolicy sum);
 
     void workerLoop();
     void runBatch(size_t n,
@@ -387,6 +457,17 @@ class AccuracyTally
     /** Total samples with a nonzero oracle. */
     size_t samples() const { return samples_; }
 
+    /**
+     * Fold one adaptive batch's per-tier tallies into the running
+     * per-tier totals (matched by format_id, first-seen order), so a
+     * bench or stream accumulates escalation counts and timings
+     * across batches the same way it accumulates errors.
+     */
+    void recordTiers(std::span<const TierStats> tiers);
+
+    /** Accumulated per-tier escalation tallies (see recordTiers). */
+    const std::vector<TierStats> &tierStats() const { return tiers_; }
+
   private:
     std::string label_;
     double range_floor_;
@@ -397,6 +478,7 @@ class AccuracyTally
     int huge_errors_ = 0;
     std::optional<double> worst_log10_;
     size_t samples_ = 0;
+    std::vector<TierStats> tiers_;
 };
 
 } // namespace pstat::engine

@@ -3,7 +3,9 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 
 #include "core/real_traits.hh"
@@ -49,6 +51,12 @@ FormatOps::pbdPValueBatch(std::span<const pbd::ColumnView> columns,
         out[i] = pbdPValue(columns[i].success_probs, columns[i].k, sum);
 }
 
+ErrorModel
+FormatOps::errorModel() const
+{
+    return {}; // Domain::None: not certifiable by the ladder.
+}
+
 namespace
 {
 
@@ -61,6 +69,46 @@ rangeFloorOf()
         return static_cast<double>(T::scale_min);
     else
         return 0.0;
+}
+
+/**
+ * Per-scalar-type ErrorModel. The IEEE carriers get the textbook
+ * linear model (unit roundoff 2^-(p), worst flush error at the
+ * subnormal floor — or the FTZ cutoff for bfloat16, which flushes
+ * whole subnormal results); the log-domain carriers carry ln x in an
+ * IEEE scalar, so their per-op error is absolute in ln x with that
+ * scalar's roundoff and they never flush (log zero is reserved for
+ * exact zeros). The oracles get their extended significands with no
+ * flush. Posits and LNS taper: no uniform per-op bound exists, so
+ * they stay Domain::None and the ladder never certifies them.
+ */
+template <typename T>
+ErrorModel
+errorModelOf()
+{
+    using D = ErrorModel::Domain;
+    constexpr double kNoFlush =
+        -std::numeric_limits<double>::infinity();
+    if constexpr (std::is_same_v<T, double>)
+        return {D::Linear, -53.0, -1075.0, true};
+    else if constexpr (std::is_same_v<T, float>)
+        return {D::Linear, -24.0, -150.0, true};
+    else if constexpr (std::is_same_v<T, BFloat16>)
+        return {D::Linear, -8.0, -126.0, true};
+    else if constexpr (std::is_same_v<T, LogDouble>)
+        return {D::Log, -53.0, kNoFlush, false};
+    else if constexpr (std::is_same_v<T, LogFloat>)
+        return {D::Log, -24.0, kNoFlush, false};
+    else if constexpr (std::is_same_v<T, ScaledDD>)
+        // Double-double: >= 2*53 - 2 significand bits; -104 is the
+        // conservative published bound for DD arithmetic.
+        return {D::Linear, -104.0, kNoFlush, false};
+    else if constexpr (std::is_same_v<T, BigFloat>)
+        // 256-bit significand; -250 leaves slack for the library's
+        // last-place behavior.
+        return {D::Linear, -250.0, kNoFlush, false};
+    else
+        return {}; // posits, LNS: tapered — Domain::None.
 }
 
 /** The Reduction policy a generic (non-log-PE) dataflow maps to. */
@@ -92,6 +140,8 @@ class FormatOpsImpl final : public FormatOps
     const std::string &name() const override { return name_; }
 
     double rangeFloorLog2() const override { return rangeFloorOf<T>(); }
+
+    ErrorModel errorModel() const override { return errorModelOf<T>(); }
 
     BigFloat
     fromDouble(double v) const override

@@ -125,6 +125,66 @@ enum class SumPolicy
  */
 SumPolicy defaultSumPolicy();
 
+/**
+ * Rounding-error model of one format — the per-format input of the
+ * running error analysis behind the adaptive escalation ladder
+ * (engine/escalate.hh). The model describes how the format perturbs
+ * the Listing-1/2 recurrences: in which domain the error lives, the
+ * unit roundoff of one operation, and the absolute error a flush to
+ * zero (underflow / FTZ) can inject. Formats whose rounding is not
+ * amenable to a uniform a-priori bound (the posit and LNS tapered
+ * formats, whose precision varies with magnitude) report
+ * Domain::None and are never certified by the ladder.
+ */
+struct ErrorModel
+{
+    /** Where the format's rounding error lives. */
+    enum class Domain
+    {
+        None,   //!< no uniform bound (tapered formats) — uncertifiable
+        Linear, //!< relative error per op, plus absolute flush error
+        Log     //!< absolute error in ln x per op (log-domain carriers)
+    };
+
+    Domain domain = Domain::None; //!< error domain of the format
+
+    /**
+     * log2 of the unit roundoff u of one arithmetic operation (and of
+     * one input conversion): -53 for binary64, -24 for binary32, and
+     * so on. For Domain::Log formats u applies to the carried ln x.
+     * Meaningless (0) under Domain::None.
+     */
+    double unit_roundoff_log2 = 0.0;
+
+    /**
+     * log2 of the largest absolute error a single flush to zero can
+     * inject (Domain::Linear only): -1075 for binary64 subnormal
+     * rounding, -126 for bfloat16's flush-to-zero. -infinity when the
+     * format cannot flush (the oracles and, in exact-zero-only
+     * semantics, the log-domain carriers).
+     */
+    double flush_abs_log2 = 0.0;
+
+    /**
+     * true when the format supports Neumaier-compensated accumulation
+     * (core/compensated.hh Compensable): under SumPolicy::Compensated
+     * the running p-value's accumulation error collapses from O(N)
+     * roundings to O(1), and the escalation bound reuses that
+     * NeumaierSum guarantee to tighten the certified interval.
+     */
+    bool compensable = false;
+};
+
+/** @name ErrorModel helpers */
+///@{
+/** true when the model supports any certification at all. */
+inline bool
+certifiable(const ErrorModel &model)
+{
+    return model.domain != ErrorModel::Domain::None;
+}
+///@}
+
 /** Type-erased operations of one number format under study. */
 class FormatOps
 {
@@ -145,6 +205,14 @@ class FormatOps
      * hardware would flush to zero.
      */
     virtual double rangeFloorLog2() const = 0;
+
+    /**
+     * The format's rounding-error model, consumed by the adaptive
+     * escalation bounds (engine/escalate.hh). The base implementation
+     * returns the uncertifiable Domain::None model; the registry's
+     * IEEE, log-domain, and oracle formats override it.
+     */
+    virtual ErrorModel errorModel() const;
 
     /** Exact value of the format's rounding of a double. */
     virtual BigFloat fromDouble(double v) const = 0;

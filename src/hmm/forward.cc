@@ -1,5 +1,6 @@
 #include "hmm/forward.hh"
 
+#include <algorithm>
 #include <cmath>
 
 namespace pstat::hmm
@@ -127,6 +128,43 @@ forwardRescaled(const Model &model, std::span<const int> obs)
     // the accumulated scale.
     out.log2_likelihood = log2_scale;
     return out;
+}
+
+double
+sequenceLogBudget(const Model &model, std::span<const int> obs)
+{
+    // |ln| of the worst nonzero entry of a span (exact zeros are
+    // represented exactly in the log-domain carriers and never
+    // wobble, so they are excluded from the budget).
+    const auto worstAbsLn = [](std::span<const double> values) {
+        double worst = 0.0;
+        for (const double v : values) {
+            if (v > 0.0)
+                worst = std::max(worst, std::fabs(std::log(v)));
+        }
+        return worst;
+    };
+
+    const size_t h = static_cast<size_t>(model.num_states);
+    const double t = static_cast<double>(obs.size());
+    const double worst_a = worstAbsLn(std::span(model.a));
+    const double worst_pi = worstAbsLn(std::span(model.pi));
+
+    double budget = worst_pi + (t > 1.0 ? t - 1.0 : 0.0) * worst_a;
+    for (const int ot : obs) {
+        double worst_b = 0.0;
+        for (size_t q = 0; q < h; ++q) {
+            const double v =
+                model.b[q * static_cast<size_t>(model.num_symbols) +
+                        static_cast<size_t>(ot)];
+            if (v > 0.0)
+                worst_b = std::max(worst_b, std::fabs(std::log(v)));
+        }
+        budget += worst_b;
+    }
+    // ln(H+1) slack per step for the H-way path sums.
+    budget += (t + 1.0) * std::log(static_cast<double>(h) + 1.0);
+    return budget;
 }
 
 OracleForwardResult

@@ -224,6 +224,19 @@ RescaledForwardResult forwardRescaled(const Model &model,
                                       std::span<const int> obs);
 
 /**
+ * Log-magnitude budget of the forward recursion on one sequence: an
+ * upper bound on |ln x| over every nonzero intermediate (alpha
+ * states, path products, and their partial sums). Every nonzero
+ * intermediate is a sum of path products whose factors are nonzero
+ * model entries — one emission per step, one transition per hop,
+ * one prior — so its |ln| is bounded by the sum of the worst
+ * nonzero-factor magnitudes, plus ln(H+1) slack per step for the
+ * H-way sums. Used by the adaptive escalation bounds
+ * (engine/escalate.hh) to certify log-domain forward evaluations.
+ */
+double sequenceLogBudget(const Model &model, std::span<const int> obs);
+
+/**
  * Oracle forward run (ScaledDD scalar, ~31 significant digits with
  * unbounded exponent). Optionally records the base-2 exponent of the
  * largest alpha state after every outer iteration (Figure 1).

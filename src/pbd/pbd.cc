@@ -58,8 +58,28 @@ pvalueLog2Estimate(std::span<const double> success_probs,
     if (n <= 0.0 || k_threshold > static_cast<int>(n))
         return -std::numeric_limits<double>::infinity();
     double mu = 0.0;
-    for (double p : success_probs)
+    size_t nonzero = 0;
+    for (double p : success_probs) {
         mu += p;
+        if (p > 0.0)
+            ++nonzero;
+    }
+    // Fewer possibly-successful reads than the threshold: the tail is
+    // exactly zero, but the mean-based surrogate below cannot see
+    // that structure (the zeros only dilute pbar) and would return a
+    // finite estimate — deep enough to screen-skip a column whose
+    // true p-value is 0. Caught by the adversarial differential
+    // sweeps (exact-factor columns with K > #nonzero).
+    if (static_cast<size_t>(k_threshold) > nonzero)
+        return -std::numeric_limits<double>::infinity();
+    // K = 1 has a closed form: P(X >= 1) = 1 - prod(1 - p_j) <= mu
+    // (union bound), tight within mu^2/2. The KL surrogate's
+    // continuity correction a = (K - 0.5)/n halves the effective
+    // count at K = 1, which on deep columns (per-read p ~ 2^-300)
+    // halves the exponent — a ~120-bit overestimate, far beyond any
+    // screening guard band. Also caught by the differential sweeps.
+    if (k_threshold == 1)
+        return std::min(0.0, std::log2(mu));
 
     // Continuity-corrected threshold fraction vs mean fraction.
     const double a =
@@ -80,6 +100,24 @@ pvalueLog2Estimate(std::span<const double> success_probs,
     const double prefactor =
         0.5 * std::log(2.0 * M_PI * n * a * (1.0 - a));
     return std::min(0.0, (-(rate) - prefactor) / M_LN2);
+}
+
+double
+columnLogBudget(std::span<const double> success_probs)
+{
+    double budget = 0.0;
+    for (const double p : success_probs) {
+        const double q = 1.0 - p;
+        // Factors that are exactly 0 or 1 are represented exactly in
+        // the log-domain carriers (log zero is reserved) and cannot
+        // wobble; everything else contributes its worse |ln|.
+        const double lp =
+            p > 0.0 && p < 1.0 ? std::fabs(std::log(p)) : 0.0;
+        const double lq =
+            q > 0.0 && q < 1.0 ? std::fabs(std::log(q)) : 0.0;
+        budget += std::max(lp, lq);
+    }
+    return budget;
 }
 
 double

@@ -189,9 +189,37 @@ double pvalueDftCf(std::span<const double> success_probs,
  * Edge cases: K <= 0 returns 0 (P(X >= 0) = 1 — even for an empty
  * span); K > N — including any K > 0 over an empty span — returns
  * -infinity, the honest log2 of the impossible event P(X >= K) = 0.
+ * K exceeding the number of *nonzero* probabilities also returns
+ * -infinity (the tail is structurally zero; the mean-based surrogate
+ * cannot see that). K = 1 uses the closed form log2(sum p) — the
+ * union bound, tight within mu^2/2 — because the KL surrogate's
+ * continuity correction halves the exponent at K = 1 on deep
+ * columns.
+ *
+ * The estimate is a heuristic, not a bound: on heterogeneous columns
+ * (per-read probabilities spanning many decades) the mean-based
+ * binomial surrogate can overestimate the tail by more than the
+ * screening guard band — the screen's no-false-skip contract holds
+ * on the caller workload it documents (see pbd/screen.hh), and the
+ * adaptive pipeline audits rather than trusts it.
  */
 double pvalueLog2Estimate(std::span<const double> success_probs,
                           int k_threshold);
+
+/**
+ * Log-magnitude budget of the Listing-2 DP on one column: an upper
+ * bound on |ln x| over every nonzero intermediate the recurrence can
+ * produce, namely sum_i max(|ln p_i|, |ln (1-p_i)|). (Every
+ * intermediate is a sum of products with exactly one factor from
+ * {p_i, 1-p_i} per consumed trial; a positive sum is at least its
+ * largest term and every probability is at most one, so |ln| of any
+ * nonzero intermediate is bounded by the sum of the worse factor
+ * magnitudes.) Factors that are exactly 0 or 1 contribute nothing:
+ * in the log-domain carriers they are represented exactly (log zero
+ * is reserved) and never wobble. Used by the adaptive escalation
+ * bounds (engine/escalate.hh) to certify log-domain evaluations.
+ */
+double columnLogBudget(std::span<const double> success_probs);
 
 } // namespace pstat::pbd
 

@@ -120,6 +120,44 @@ std::vector<double>
 screenEstimates(std::span<const Column> columns);
 
 /**
+ * A certified (mathematically rigorous) log2 enclosure of a
+ * p-value: the exact P(X >= K) lies in [2^lo_log2, 2^hi_log2].
+ * Either endpoint may be infinite (vacuous on that side); both are
+ * -infinity exactly when the p-value is provably zero.
+ */
+struct PValueBoundsLog2
+{
+    double lo_log2 = 0.0; //!< certified lower endpoint (log2)
+    double hi_log2 = 0.0; //!< certified upper endpoint (log2)
+};
+
+/**
+ * O(N log N) certified enclosure of P(X >= K) — the analytic tier of
+ * the adaptive escalation ladder (engine/escalate.hh), and the
+ * rigorous counterpart of pvalueLog2Estimate: where the
+ * Cramér–Chernoff estimate is accurate but heuristic, these bounds
+ * are loose but *sound*, so a decision threshold (LoFreq's 2^-200)
+ * can be certified without running any DP at all.
+ *
+ * Upper endpoint: the union bound P(X >= K) <= e_K(p) (the K-th
+ * elementary symmetric polynomial) combined with Maclaurin's
+ * inequality e_K <= C(N,K) * pbar^K, pbar the arithmetic mean.
+ * Lower endpoint: the single outcome "the K most probable reads all
+ * succeed and every other read fails", whose probability is a
+ * product of known factors. Both endpoints are padded by 2 bits plus
+ * a term covering every libm rounding in their own evaluation, so
+ * the enclosure holds for the exact real-arithmetic p-value; the
+ * differential harness (tests/test_escalate.cc) audits this against
+ * the BigFloat oracle over adversarial columns.
+ *
+ * Edge cases: K <= 0 gives the exact enclosure [1, 1]; K > N (an
+ * impossible event) and all-zero probability columns give the exact
+ * [0, 0]; any invalid probability (NaN, outside [0, 1]) yields the
+ * vacuous enclosure (-inf, +inf].
+ */
+PValueBoundsLog2 certifiedBoundsLog2(const ColumnView &column);
+
+/**
  * False-skip audit: the number of skipped columns whose exact
  * (oracle) p-value is below the threshold — variants the screen
  * would have missed. oracle holds exact p-values in column order

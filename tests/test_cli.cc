@@ -1,0 +1,254 @@
+/**
+ * @file
+ * In-process tests of the `pstat` CLI error paths (apps/pstat_cli.hh).
+ *
+ * pstatMain is driven with argv arrays while stdout/stderr are
+ * captured, so every exit path — unknown subcommands, missing or
+ * corrupt shards, malformed knob values — is asserted on exit code
+ * *and* diagnostic without spawning processes. The guard-bits cases
+ * are the regression tests for the old std::atof parsing, which read
+ * "banana" as a 0-bit guard band (silently disabling the guard)
+ * instead of rejecting it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/pstat_cli.hh"
+#include "io/shard.hh"
+#include "pbd/dataset.hh"
+
+namespace
+{
+
+using namespace pstat;
+
+/** Run the CLI in-process; captures stdout/stderr around the call. */
+int
+runCli(std::initializer_list<const char *> args,
+       std::string *out = nullptr, std::string *err = nullptr)
+{
+    std::vector<const char *> argv{"pstat"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    testing::internal::CaptureStdout();
+    testing::internal::CaptureStderr();
+    const int rc = apps::pstatMain(static_cast<int>(argv.size()),
+                                   argv.data());
+    const std::string captured_out =
+        testing::internal::GetCapturedStdout();
+    const std::string captured_err =
+        testing::internal::GetCapturedStderr();
+    if (out != nullptr)
+        *out = captured_out;
+    if (err != nullptr)
+        *err = captured_err;
+    return rc;
+}
+
+/** A small valid Columns shard in the test temp dir. */
+std::string
+makeShard(const std::string &name, int columns = 60)
+{
+    pbd::DatasetConfig config;
+    config.num_columns = columns;
+    config.seed = 77;
+    const auto ds = pbd::makeDataset(config, "cli");
+    const std::string path = ::testing::TempDir() + name;
+    io::writeColumnShard(path, ds.columns);
+    return path;
+}
+
+TEST(Cli, HelpExitsZeroAndPrintsUsage)
+{
+    std::string out;
+    EXPECT_EQ(runCli({"--help"}, &out), 0);
+    EXPECT_NE(out.find("usage:"), std::string::npos);
+    EXPECT_NE(out.find("--adaptive"), std::string::npos);
+}
+
+TEST(Cli, NoArgumentsIsAUsageError)
+{
+    std::string err;
+    EXPECT_EQ(runCli({}, nullptr, &err), 2);
+    EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownSubcommandFails)
+{
+    std::string err;
+    EXPECT_EQ(runCli({"frobnicate"}, nullptr, &err), 2);
+    EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionFails)
+{
+    std::string err;
+    EXPECT_EQ(runCli({"eval", "--bogus", "x", "a.shard"}, nullptr,
+                     &err),
+              2);
+    EXPECT_NE(err.find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, MissingShardFails)
+{
+    const std::string missing =
+        ::testing::TempDir() + "no_such_file.shard";
+    std::string err;
+    EXPECT_EQ(runCli({"eval", "--format", "binary64",
+                      missing.c_str()},
+                     nullptr, &err),
+              1);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Cli, TruncatedShardFails)
+{
+    const std::string path = makeShard("cli_truncated.shard");
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size / 2);
+    std::string err;
+    EXPECT_EQ(runCli({"info", path.c_str()}, nullptr, &err), 1);
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_EQ(runCli({"eval", "--format", "binary64", path.c_str()},
+                     nullptr, &err),
+              1);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Cli, CrcCorruptShardFails)
+{
+    const std::string path = makeShard("cli_corrupt.shard");
+    const auto size = std::filesystem::file_size(path);
+    {
+        std::FILE *f = std::fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fseek(f, static_cast<long>(size / 2), SEEK_SET),
+                  0);
+        const int byte = std::fgetc(f);
+        ASSERT_NE(byte, EOF);
+        ASSERT_EQ(std::fseek(f, static_cast<long>(size / 2), SEEK_SET),
+                  0);
+        std::fputc(byte ^ 0x5a, f);
+        std::fclose(f);
+    }
+    std::string err;
+    EXPECT_EQ(runCli({"info", path.c_str()}, nullptr, &err), 1);
+    EXPECT_FALSE(err.empty());
+    err.clear();
+    EXPECT_EQ(runCli({"eval", "--format", "binary64", path.c_str()},
+                     nullptr, &err),
+              1);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Cli, BadAdaptiveToleranceFails)
+{
+    const std::string path = makeShard("cli_tol.shard", 20);
+    for (const char *tol : {"banana", "0.5", "0", "-inf", "-20x"}) {
+        SCOPED_TRACE(tol);
+        std::string err;
+        EXPECT_EQ(runCli({"eval", "--adaptive", "--tol", tol,
+                          path.c_str()},
+                         nullptr, &err),
+                  2);
+        EXPECT_NE(err.find("--tol"), std::string::npos);
+    }
+}
+
+TEST(Cli, BadAdaptiveThresholdFails)
+{
+    const std::string path = makeShard("cli_thr.shard", 20);
+    for (const char *thr : {"nan", "junk", "-inf"}) {
+        SCOPED_TRACE(thr);
+        std::string err;
+        EXPECT_EQ(runCli({"eval", "--adaptive", "--threshold", thr,
+                          path.c_str()},
+                         nullptr, &err),
+                  2);
+        EXPECT_NE(err.find("--threshold"), std::string::npos);
+    }
+}
+
+TEST(Cli, BadLadderFails)
+{
+    const std::string path = makeShard("cli_ladder.shard", 20);
+    std::string err;
+    EXPECT_EQ(runCli({"eval", "--adaptive", "--ladder", "binary63",
+                      path.c_str()},
+                     nullptr, &err),
+              2);
+    EXPECT_NE(err.find("--ladder"), std::string::npos);
+}
+
+TEST(Cli, AdaptiveConflictsWithFixedFormat)
+{
+    std::string err;
+    EXPECT_EQ(runCli({"eval", "--adaptive", "--format", "binary64",
+                      "a.shard"},
+                     nullptr, &err),
+              2);
+    EXPECT_NE(err.find("--format"), std::string::npos);
+}
+
+TEST(Cli, BadGuardBitsFlagFails)
+{
+    // Regression: std::atof read "64x" as 64 and "banana" as 0 — the
+    // latter silently disabled the guard band. Both are usage errors
+    // now.
+    const std::string path = makeShard("cli_guard.shard", 20);
+    for (const char *guard : {"banana", "64x", ""}) {
+        SCOPED_TRACE(std::string("guard=") + guard);
+        std::string err;
+        EXPECT_EQ(runCli({"screen", "--format", "binary64",
+                          "--guard-bits", guard, path.c_str()},
+                         nullptr, &err),
+                  2);
+        EXPECT_NE(err.find("guard-bits"), std::string::npos);
+    }
+}
+
+TEST(Cli, BadGuardBitsEnvWarnsAndKeepsDefault)
+{
+    const std::string path = makeShard("cli_guard_env.shard", 20);
+    ASSERT_EQ(setenv("PSTAT_GUARD_BITS", "banana", 1), 0);
+    std::string out;
+    std::string err;
+    const int rc = runCli({"screen", "--format", "binary64",
+                           path.c_str()},
+                          &out, &err);
+    ASSERT_EQ(unsetenv("PSTAT_GUARD_BITS"), 0);
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(err.find("PSTAT_GUARD_BITS"), std::string::npos);
+    // The default band (64 bits) survives the bad override.
+    EXPECT_NE(out.find("guard 64 bits"), std::string::npos);
+}
+
+TEST(Cli, AdaptiveEvalRunsAndReportsTiers)
+{
+    const std::string path = makeShard("cli_adaptive.shard");
+    std::string out;
+    EXPECT_EQ(runCli({"eval", "--adaptive", "--threshold", "-200",
+                      path.c_str()},
+                     &out),
+              0);
+    EXPECT_NE(out.find("certified"), std::string::npos);
+    EXPECT_NE(out.find("calls (p < 2^-200)"), std::string::npos);
+    EXPECT_NE(out.find("tier"), std::string::npos);
+
+    // A custom single-tier ladder with a value tolerance.
+    out.clear();
+    EXPECT_EQ(runCli({"eval", "--adaptive", "--ladder", "binary64",
+                      "--tol", "-20", path.c_str()},
+                     &out),
+              0);
+    EXPECT_NE(out.find("tier binary64"), std::string::npos);
+}
+
+} // namespace

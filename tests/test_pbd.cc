@@ -305,6 +305,49 @@ TEST(PbdChernoffEstimate, ImpossibleEventIsMinusInfinity)
               pvalueLog2Estimate(probs, 3)); // finite, not NaN
 }
 
+TEST(PbdChernoffEstimate, StructuralZeroTailIsMinusInfinity)
+{
+    // Regression (found by the adversarial differential sweeps): a K
+    // larger than the number of *nonzero* probabilities is just as
+    // impossible as K > N, but the mean-based surrogate only saw the
+    // zeros dilute pbar and returned a finite estimate — deep enough
+    // for the screen to skip a column whose true p-value is 0.
+    const std::vector<double> probs = {0.0, 0.7, 0.0, 0.3, 0.0};
+    const double est = pvalueLog2Estimate(probs, 3);
+    EXPECT_TRUE(std::isinf(est));
+    EXPECT_LT(est, 0.0);
+    EXPECT_EQ(pvalue<double>(probs, 3), 0.0);
+    // K within the nonzero count stays finite.
+    EXPECT_TRUE(std::isfinite(pvalueLog2Estimate(probs, 2)));
+}
+
+TEST(PbdChernoffEstimate, SingleSuccessUsesTheUnionBound)
+{
+    // Regression (found by the adversarial differential sweeps): the
+    // KL surrogate's continuity correction a = (K - 0.5)/N halves the
+    // effective count at K = 1. On subnormal-deep columns (per-read p
+    // ~ 2^-300) that halves the exponent: est ~ -120 bits vs a truth
+    // of ~ -240 bits — a gap no screening guard band survives. K = 1
+    // has a closed form, P(X >= 1) = 1 - prod(1 - p) <= sum p, tight
+    // within (sum p)^2 / 2; the estimate now uses it.
+    std::vector<double> probs(40);
+    stats::Rng rng(61);
+    for (auto &p : probs)
+        p = std::exp2(rng.uniform(-320.0, -260.0));
+    double mu = 0.0;
+    for (double p : probs)
+        mu += p;
+    const double est = pvalueLog2Estimate(probs, 1);
+    EXPECT_NEAR(est, std::log2(mu), 1e-9);
+    const double exact =
+        pvalueOracle(probs, 1).toBigFloat().log2Abs();
+    EXPECT_NEAR(est, exact, 1.0);
+
+    // Shallow K = 1 stays sane too: the union bound caps at 1.
+    const std::vector<double> shallow(30, 0.5);
+    EXPECT_EQ(pvalueLog2Estimate(shallow, 1), 0.0);
+}
+
 TEST(PbdChernoffEstimate, UsableAsPreFilter)
 {
     // The pre-filter must never claim "insignificant" for a truly

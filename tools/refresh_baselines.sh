@@ -27,5 +27,6 @@ PSTAT_FIG10_TLARGE=600 "$build_dir"/bench_fig10_vicar_cdf
 "$build_dir"/bench_fig13_screening
 "$build_dir"/bench_fig14_streaming
 "$build_dir"/bench_fig15_simd
+"$build_dir"/bench_fig16_escalation
 
 echo "baselines refreshed under $out_dir"
