@@ -33,6 +33,8 @@
 
 #include "apps/lofreq.hh"
 #include "bench_util.hh"
+#include "engine/eval_engine.hh"
+#include "engine/plan.hh"
 #include "pbd/screen.hh"
 #include "stats/table.hh"
 
@@ -360,15 +362,25 @@ main()
         std::max(4u, std::thread::hardware_concurrency());
     engine::EvalEngine chunked(sched_lanes); // auto grain/PSTAT_GRAIN
     engine::EvalEngine per_index(sched_lanes, 1); // old scheduler
+
+    // Both engines execute the same plan — the scheduler is engine
+    // state (grain), not plan state, so the comparison isolates it.
+    engine::EvalPlan sched_plan;
+    sched_plan.kernel = engine::PlanKernel::PValue;
+    sched_plan.source = engine::PlanSource::Memory;
+    sched_plan.policy = engine::PlanPolicy::Fixed;
+    sched_plan.format_id = b64.id();
+    sched_plan.sum = engine::PlanSum::Plain;
+    engine::PlanInputs sched_inputs;
+    sched_inputs.columns = cheap_ds.columns;
+    sched_inputs.format = &b64;
     const double per_index_ms =
         bench::timeStats(3, [&] {
-            per_index.pvalueBatch(b64, cheap_ds.columns,
-                                  engine::SumPolicy::Plain);
+            per_index.run(sched_plan, sched_inputs);
         }).min_ms;
     const double chunked_ms =
         bench::timeStats(3, [&] {
-            chunked.pvalueBatch(b64, cheap_ds.columns,
-                                engine::SumPolicy::Plain);
+            chunked.run(sched_plan, sched_inputs);
         }).min_ms;
     const size_t grain =
         chunked.grainForBatch(cheap_ds.columns.size());

@@ -3,10 +3,14 @@
  * Figure 14 (extension): sharded dataset I/O and the streaming
  * evaluation pipeline — what it costs to never hold the dataset.
  *
+ * Every evaluation here goes through EvalEngine::run on an explicit
+ * EvalPlan (engine/plan.hh) — the streamed and in-memory runs differ
+ * only in the plan's source field.
+ *
  * (a) Shard-size sweep: the same column dataset written as shards of
- *     growing size, evaluated with EvalEngine::pvalueStream (bounded
+ *     growing size, evaluated as a shard-stream plan (bounded
  *     producer/consumer pipeline, mmap-backed zero-copy shards) vs
- *     the in-memory pvalueBatch on the fully materialized dataset.
+ *     the in-memory plan on the fully materialized dataset.
  *     Tiny shards pay per-shard dispatch overhead; one giant shard
  *     degenerates to the in-memory footprint. The sweep maps the
  *     trade-off, reporting throughput, the pipeline's actual memory
@@ -15,9 +19,9 @@
  * (b) Format tier: streamed vs in-memory across the registered
  *     64/32-bit tier at a fixed shard size, with a per-column
  *     bit-identity check (the streaming contract).
- * (c) HMM forward streaming: observation-sequence shards through
- *     forwardStream vs forwardBatch on the phylo model, with the
- *     same bit-identity check.
+ * (c) HMM forward streaming: observation-sequence shards through a
+ *     forward shard-stream plan vs the in-memory forward plan on the
+ *     phylo model, with the same bit-identity check.
  *
  * Knobs: PSTAT_SCALE scales the workloads, PSTAT_THREADS the lanes,
  * PSTAT_FIG14_QUEUE the stream's queue capacity (default 2).
@@ -34,6 +38,7 @@
 #include "bench_util.hh"
 #include "engine/eval_engine.hh"
 #include "engine/format_registry.hh"
+#include "engine/plan.hh"
 #include "hmm/generator.hh"
 #include "io/shard.hh"
 #include "io/shard_stream.hh"
@@ -105,20 +110,45 @@ runStream(const engine::FormatOps &format,
           engine::EvalEngine &engine)
 {
     StreamRun out;
-    io::ShardStreamConfig config;
-    config.queue_capacity = queue_capacity;
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::PValue;
+    plan.source = engine::PlanSource::ShardStream;
+    plan.policy = engine::PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    plan.sum = engine::PlanSum::Plain;
+    plan.shard_paths = paths;
+    plan.queue_capacity = queue_capacity;
+    engine::PlanInputs inputs;
+    inputs.format = &format;
+    inputs.sink = [&](size_t, const io::ShardReader &,
+                      std::span<const engine::EvalResult> results) {
+        out.results.insert(out.results.end(), results.begin(),
+                           results.end());
+    };
+    // run() opens the shard stream itself, so the timer covers the
+    // same span the hand-rolled pipeline did.
     const bench::WallTimer timer;
-    io::ShardStream stream(paths, config);
-    out.stats = engine.pvalueStream(
-        format, stream,
-        [&](size_t, const io::ShardReader &,
-            std::span<const engine::EvalResult> results) {
-            out.results.insert(out.results.end(), results.begin(),
-                               results.end());
-        },
-        engine::SumPolicy::Plain);
+    out.stats = engine.run(plan, inputs).stream;
     out.wall_ms = timer.elapsedMs();
     return out;
+}
+
+/** The in-memory reference batch as a PValue x Memory plan. */
+std::vector<engine::EvalResult>
+runMemory(const engine::FormatOps &format,
+          std::span<const pbd::Column> columns,
+          engine::EvalEngine &engine)
+{
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::PValue;
+    plan.source = engine::PlanSource::Memory;
+    plan.policy = engine::PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    plan.sum = engine::PlanSum::Plain;
+    engine::PlanInputs inputs;
+    inputs.columns = columns;
+    inputs.format = &format;
+    return engine.run(plan, inputs).results;
 }
 
 } // namespace
@@ -182,9 +212,7 @@ main()
             std::vector<engine::EvalResult> want;
             const double batch_ms =
                 bench::timeStats(2, [&] {
-                    want = engine.pvalueBatch(
-                        format, dataset.columns,
-                        engine::SumPolicy::Plain);
+                    want = runMemory(format, dataset.columns, engine);
                 }).min_ms;
 
             for (const size_t shard_columns : shard_sizes) {
@@ -270,8 +298,8 @@ main()
                  {"bfloat16", "bfloat16"}}) {
             const auto &format = registry.at(id);
             const bench::WallTimer batch_timer;
-            const auto want = engine.pvalueBatch(
-                format, dataset.columns, engine::SumPolicy::Plain);
+            const auto want =
+                runMemory(format, dataset.columns, engine);
             const double batch_ms = batch_timer.elapsedMs();
             const auto run = runStream(format, paths, queue_capacity,
                                        engine);
@@ -331,24 +359,38 @@ main()
                                 "bit-identical"});
         for (const char *id : {"log", "log32"}) {
             const auto &format = registry.at(id);
+            engine::EvalPlan batch_plan;
+            batch_plan.kernel = engine::PlanKernel::Forward;
+            batch_plan.source = engine::PlanSource::Memory;
+            batch_plan.policy = engine::PlanPolicy::Fixed;
+            batch_plan.format_id = format.id();
+            engine::PlanInputs batch_inputs;
+            batch_inputs.jobs = jobs;
+            batch_inputs.format = &format;
             const bench::WallTimer batch_timer;
-            const auto want = engine.forwardBatch(
-                format, jobs, engine::Dataflow::Accelerator);
+            const auto want =
+                engine.run(batch_plan, batch_inputs).results;
             const double batch_ms = batch_timer.elapsedMs();
 
+            engine::EvalPlan stream_plan;
+            stream_plan.kernel = engine::PlanKernel::Forward;
+            stream_plan.source = engine::PlanSource::ShardStream;
+            stream_plan.policy = engine::PlanPolicy::Fixed;
+            stream_plan.format_id = format.id();
+            stream_plan.shard_paths = paths;
+            stream_plan.queue_capacity = queue_capacity;
             std::vector<engine::EvalResult> got;
-            io::ShardStreamConfig stream_config;
-            stream_config.queue_capacity = queue_capacity;
-            const bench::WallTimer stream_timer;
-            io::ShardStream stream(paths, stream_config);
-            engine.forwardStream(
-                format, model, stream,
+            engine::PlanInputs stream_inputs;
+            stream_inputs.model = &model;
+            stream_inputs.format = &format;
+            stream_inputs.sink =
                 [&](size_t, const io::ShardReader &,
                     std::span<const engine::EvalResult> results) {
                     got.insert(got.end(), results.begin(),
                                results.end());
-                },
-                engine::Dataflow::Accelerator);
+                };
+            const bench::WallTimer stream_timer;
+            engine.run(stream_plan, stream_inputs);
             const double stream_ms = stream_timer.elapsedMs();
             const bool identical = bitIdentical(got, want);
             all_bit_identical = all_bit_identical && identical;

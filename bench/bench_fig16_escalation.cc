@@ -30,6 +30,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,7 @@
 #include "engine/escalate.hh"
 #include "engine/eval_engine.hh"
 #include "engine/format_registry.hh"
+#include "engine/plan.hh"
 #include "pbd/dataset.hh"
 #include "pbd/pbd.hh"
 #include "pbd/screen.hh"
@@ -74,6 +77,48 @@ makeEscalationColumns(int columns_per_dataset, double mean_phred,
             out.push_back(std::move(column));
     }
     return out;
+}
+
+/** A plain fixed-format batch as a PValue x Memory plan. */
+std::vector<engine::EvalResult>
+runFixedPlan(engine::EvalEngine &engine,
+             const engine::FormatOps &format,
+             std::span<const pbd::Column> columns)
+{
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::PValue;
+    plan.source = engine::PlanSource::Memory;
+    plan.policy = engine::PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    engine::PlanInputs inputs;
+    inputs.columns = columns;
+    inputs.format = &format;
+    return engine.run(plan, inputs).results;
+}
+
+/** An adaptive (optionally screened) batch as an EvalPlan. */
+engine::AdaptiveBatch
+runAdaptivePlan(engine::EvalEngine &engine,
+                const engine::Ladder &ladder,
+                std::span<const pbd::Column> columns,
+                const engine::CertConfig &cert,
+                const std::optional<pbd::ScreenConfig> &screen =
+                    std::nullopt)
+{
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::PValue;
+    plan.source = engine::PlanSource::Memory;
+    plan.policy = screen ? engine::PlanPolicy::ScreenedAdaptive
+                         : engine::PlanPolicy::Adaptive;
+    plan.cert = cert;
+    if (screen)
+        plan.screen = *screen;
+    for (const engine::FormatOps *tier : ladder.tiers)
+        plan.ladder_ids.push_back(tier->id());
+    engine::PlanInputs inputs;
+    inputs.columns = columns;
+    inputs.ladder = &ladder;
+    return engine.run(plan, inputs).adaptive;
 }
 
 /** Exact oracle p-values over the engine pool. */
@@ -155,14 +200,14 @@ main()
             const auto &format = registry.at(id);
             const double plain_ms =
                 bench::timeStats(3, [&] {
-                    engine.pvalueBatch(format, columns);
+                    runFixedPlan(engine, format, columns);
                 }).min_ms;
             const auto ladder = engine::parseLadder(id);
             engine::AdaptiveBatch batch;
             const double certify_ms =
                 bench::timeStats(3, [&] {
-                    batch = engine.pvalueAdaptiveBatch(
-                        *ladder, columns, cert);
+                    batch = runAdaptivePlan(engine, *ladder,
+                                            columns, cert);
                 }).min_ms;
             const size_t mismatches =
                 countDecisionMismatches(batch, oracle);
@@ -192,8 +237,8 @@ main()
     engine::AdaptiveBatch adaptive;
     const double adaptive_ms =
         bench::timeStats(3, [&] {
-            adaptive = engine.pvalueAdaptiveBatch(
-                engine::defaultLadder(), columns, cert);
+            adaptive = runAdaptivePlan(
+                engine, engine::defaultLadder(), columns, cert);
         }).min_ms;
     const size_t adaptive_mismatches =
         countDecisionMismatches(adaptive, oracle);
@@ -234,8 +279,9 @@ main()
     engine::AdaptiveBatch screened;
     const double screened_ms =
         bench::timeStats(3, [&] {
-            screened = engine.pvalueAdaptiveBatch(
-                engine::defaultLadder(), columns, cert, screen);
+            screened = runAdaptivePlan(engine,
+                                       engine::defaultLadder(),
+                                       columns, cert, screen);
         }).min_ms;
     const size_t screened_false_skips = pbd::countFalseSkips(
         screened.skipped, oracle, screen.threshold_log2);
@@ -260,8 +306,9 @@ main()
         for (const double phred : {18.0, 22.0, 26.0, 30.0, 34.0}) {
             const auto sweep_columns = makeEscalationColumns(
                 bench::scaled(60, 20), phred, 2707ULL);
-            const auto batch = engine.pvalueAdaptiveBatch(
-                engine::defaultLadder(), sweep_columns, cert);
+            const auto batch = runAdaptivePlan(
+                engine, engine::defaultLadder(), sweep_columns,
+                cert);
             size_t analytic = 0;
             size_t escalated = 0;
             for (const auto &r : batch.results) {

@@ -264,13 +264,27 @@ class Json
     static std::string
     quote(const std::string &s)
     {
+        // RFC 8259 string escaping: quote and backslash, the short
+        // escapes for the common control characters, \u00XX for the
+        // rest of the C0 range. Everything else (including UTF-8
+        // multibyte sequences) passes through byte-for-byte.
         std::string out = "\"";
-        for (char c : s) {
-            if (c == '"' || c == '\\')
-                out += '\\';
+        for (const char c : s) {
+            switch (c) {
+            case '"': out += "\\\""; continue;
+            case '\\': out += "\\\\"; continue;
+            case '\n': out += "\\n"; continue;
+            case '\t': out += "\\t"; continue;
+            case '\r': out += "\\r"; continue;
+            case '\b': out += "\\b"; continue;
+            case '\f': out += "\\f"; continue;
+            default: break;
+            }
             if (static_cast<unsigned char>(c) < 0x20) {
                 char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
                 out += buf;
                 continue;
             }

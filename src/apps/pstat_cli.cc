@@ -8,12 +8,22 @@
  *           shard files (streaming generation: O(column) memory, any
  *           dataset size)
  *   info    validate shards (header fields, CRC) and print their
- *           metadata
+ *           metadata plus payload-specific stats (K/coverage ranges
+ *           of Columns shards, T ranges of Sequences shards)
  *   eval    streamed exact p-value evaluation in any registered
  *           format — or, with --adaptive, certified evaluation up
  *           the escalation ladder (engine/escalate.hh)
  *   screen  streamed two-stage screened evaluation (estimate
  *           everywhere, exact DP inside the guard band)
+ *
+ * eval and screen parse their flags straight into an
+ * engine::EvalPlan (engine/plan.hh) and hand it to
+ * EvalEngine::run — the CLI owns no evaluation loop of its own.
+ * Every such invocation can round-trip its plan: --plan-dump FILE
+ * writes the encoded plan instead of running it, and
+ * `eval --plan-file FILE` executes a previously dumped plan (with
+ * positional shard paths overriding the plan's own, so one plan
+ * template can be replayed against any dataset).
  *
  * The process-wide knobs apply unchanged: PSTAT_THREADS sets the
  * engine lanes, PSTAT_COMPENSATED the summation policy,
@@ -25,6 +35,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <limits>
@@ -38,6 +49,7 @@
 #include "engine/escalate.hh"
 #include "engine/eval_engine.hh"
 #include "engine/format_registry.hh"
+#include "engine/plan.hh"
 #include "io/shard.hh"
 #include "io/shard_stream.hh"
 #include "pbd/dataset.hh"
@@ -62,18 +74,25 @@ usage(std::FILE *out)
         "  pstat eval   --format ID [--queue N=2] SHARD...\n"
         "  pstat eval   --adaptive [--ladder SPEC] [--tol BITS]\n"
         "               [--threshold BITS=-200] [--queue N=2] SHARD...\n"
+        "  pstat eval   --plan-file FILE [SHARD...]\n"
         "  pstat screen --format ID [--guard-bits B] [--queue N=2]\n"
         "               SHARD...\n"
         "\n"
         "gen writes Columns shards of the paper's LoFreq column\n"
         "profile (streaming: any size at O(column) memory); info\n"
-        "validates header + CRC and prints metadata; eval streams\n"
-        "exact p-values and calls variants at the 2^-200 threshold;\n"
-        "eval --adaptive escalates each column up the format ladder\n"
-        "until its error bound certifies the answer (--tol: log2\n"
-        "relative tolerance, negative; --threshold: log2 decision\n"
-        "cutoff); screen streams the two-stage estimate-then-refine\n"
-        "pipeline.\n"
+        "validates header + CRC and prints metadata and payload\n"
+        "stats; eval streams exact p-values and calls variants at\n"
+        "the 2^-200 threshold; eval --adaptive escalates each column\n"
+        "up the format ladder until its error bound certifies the\n"
+        "answer (--tol: log2 relative tolerance, negative;\n"
+        "--threshold: log2 decision cutoff); screen streams the\n"
+        "two-stage estimate-then-refine pipeline.\n"
+        "\n"
+        "eval and screen compile their flags into an evaluation plan\n"
+        "(engine/plan.hh) executed by EvalEngine::run. --plan-dump\n"
+        "FILE writes the encoded plan instead of running it;\n"
+        "eval --plan-file FILE replays a dumped plan (positional\n"
+        "shards override the plan's own paths).\n"
         "\n"
         "environment: PSTAT_THREADS (engine lanes), PSTAT_COMPENSATED\n"
         "(summation policy), PSTAT_GUARD_BITS (screen default band),\n"
@@ -172,8 +191,9 @@ lookupFormat(const Args &args)
     return format;
 }
 
-std::optional<io::ShardStreamConfig>
-streamConfig(const Args &args)
+/** The --queue flag as a plan queue capacity; nullopt = usage error. */
+std::optional<uint64_t>
+queueCapacity(const Args &args)
 {
     const auto queue = optionLong(args, "queue", 2);
     if (!queue)
@@ -182,9 +202,7 @@ streamConfig(const Args &args)
         std::fprintf(stderr, "pstat: --queue must be positive\n");
         return std::nullopt;
     }
-    io::ShardStreamConfig config;
-    config.queue_capacity = static_cast<size_t>(*queue);
-    return config;
+    return static_cast<uint64_t>(*queue);
 }
 
 // ---------------------------------------------------------------- gen
@@ -258,6 +276,52 @@ runGen(const Args &args)
 
 // --------------------------------------------------------------- info
 
+/** Payload-specific stats line of one Columns shard. */
+void
+printColumnStats(const io::ShardReader &reader)
+{
+    if (reader.size() == 0) {
+        std::printf("  columns: 0 records\n");
+        return;
+    }
+    int k_min = std::numeric_limits<int>::max();
+    int k_max = std::numeric_limits<int>::min();
+    size_t cov_min = std::numeric_limits<size_t>::max();
+    size_t cov_max = 0;
+    for (size_t i = 0; i < reader.size(); ++i) {
+        const pbd::ColumnView view = reader.column(i);
+        k_min = std::min(k_min, view.k);
+        k_max = std::max(k_max, view.k);
+        cov_min = std::min(cov_min, view.success_probs.size());
+        cov_max = std::max(cov_max, view.success_probs.size());
+    }
+    std::printf("  columns: %zu records, K %d..%d, coverage "
+                "%zu..%zu\n",
+                reader.size(), k_min, k_max, cov_min, cov_max);
+}
+
+/** Payload-specific stats line of one Sequences shard. */
+void
+printSequenceStats(const io::ShardReader &reader)
+{
+    if (reader.size() == 0) {
+        std::printf("  sequences: 0 records\n");
+        return;
+    }
+    size_t t_min = std::numeric_limits<size_t>::max();
+    size_t t_max = 0;
+    size_t observations = 0;
+    for (size_t i = 0; i < reader.size(); ++i) {
+        const size_t t = reader.sequence(i).size();
+        t_min = std::min(t_min, t);
+        t_max = std::max(t_max, t);
+        observations += t;
+    }
+    std::printf("  sequences: %zu records, T %zu..%zu, %zu "
+                "observations\n",
+                reader.size(), t_min, t_max, observations);
+}
+
 int
 runInfo(const Args &args)
 {
@@ -269,15 +333,18 @@ runInfo(const Args &args)
     for (const auto &path : args.positional) {
         try {
             const io::ShardReader reader(path);
-            const char *kind =
-                reader.payload() == io::ShardPayload::Columns
-                    ? "columns"
-                    : "sequences";
+            const bool is_columns =
+                reader.payload() == io::ShardPayload::Columns;
             std::printf("%s: v%u %s, %zu records, %zu payload bytes "
                         "(%zu file), CRC ok\n",
-                        path.c_str(), reader.version(), kind,
+                        path.c_str(), reader.version(),
+                        is_columns ? "columns" : "sequences",
                         reader.size(), reader.payloadBytes(),
                         reader.fileBytes());
+            if (is_columns)
+                printColumnStats(reader);
+            else
+                printSequenceStats(reader);
         } catch (const io::ShardError &error) {
             std::fprintf(stderr, "pstat: %s\n", error.what());
             ++failures;
@@ -286,54 +353,46 @@ runInfo(const Args &args)
     return failures == 0 ? 0 : 1;
 }
 
-// --------------------------------------------------------------- eval
+// ----------------------------------------------------- plan execution
 
+/**
+ * Execute a Fixed pvalue shard-stream plan with the classic `eval`
+ * reporting (per-shard call counts, LoFreq 2^-200 calls).
+ */
 int
-runEvalFixed(const Args &args)
+executeFixedPlan(const engine::EvalPlan &plan)
 {
-    const auto *format = lookupFormat(args);
-    if (format == nullptr)
-        return 2;
-    if (args.positional.empty()) {
-        std::fprintf(stderr, "pstat: eval needs shard files\n");
-        return 2;
-    }
-    const auto config = streamConfig(args);
-    if (!config)
-        return 2;
-
-    engine::EvalEngine engine;
+    engine::EvalEngine engine(plan.threads,
+                              static_cast<size_t>(plan.grain));
     const BigFloat threshold = apps::lofreqThreshold();
     size_t calls = 0;
     size_t invalid = 0;
     size_t underflows = 0;
 
-    io::ShardStream stream(args.positional, *config);
+    engine::PlanInputs inputs;
+    inputs.sink = [&](size_t, const io::ShardReader &shard,
+                      std::span<const engine::EvalResult> results) {
+        size_t shard_calls = 0;
+        for (const auto &r : results) {
+            if (r.invalid)
+                ++invalid;
+            if (r.underflow)
+                ++underflows;
+            if (r.value.isFinite() && r.value < threshold)
+                ++shard_calls;
+        }
+        calls += shard_calls;
+        std::printf("%s: %zu columns, %zu calls\n",
+                    shard.path().c_str(), shard.size(), shard_calls);
+    };
     try {
-        const auto stats = engine.pvalueStream(
-            *format, stream,
-            [&](size_t, const io::ShardReader &shard,
-                std::span<const engine::EvalResult> results) {
-                size_t shard_calls = 0;
-                for (const auto &r : results) {
-                    if (r.invalid)
-                        ++invalid;
-                    if (r.underflow)
-                        ++underflows;
-                    if (r.value.isFinite() && r.value < threshold)
-                        ++shard_calls;
-                }
-                calls += shard_calls;
-                std::printf("%s: %zu columns, %zu calls\n",
-                            shard.path().c_str(), shard.size(),
-                            shard_calls);
-            });
+        const auto stats = engine.run(plan, inputs).stream;
         std::printf("total: %zu shards, %zu columns, %zu variant "
                     "calls (p < 2^-200), %zu invalid, %zu "
                     "underflows [%s, %u lanes, peak queue %zu, peak "
                     "mapped %zu bytes]\n",
                     stats.shards, stats.items, calls, invalid,
-                    underflows, format->id().c_str(),
+                    underflows, plan.format_id.c_str(),
                     engine.threadCount(), stats.peak_queue_depth,
                     stats.peak_mapped_bytes);
     } catch (const io::ShardError &error) {
@@ -343,111 +402,55 @@ runEvalFixed(const Args &args)
     return 0;
 }
 
+/**
+ * Execute an Adaptive / ScreenedAdaptive pvalue shard-stream plan
+ * with the classic `eval --adaptive` reporting (certified counts,
+ * per-tier escalation table).
+ */
 int
-runEvalAdaptive(const Args &args)
+executeAdaptivePlan(const engine::EvalPlan &plan)
 {
-    if (option(args, "format")) {
-        std::fprintf(stderr,
-                     "pstat: --format conflicts with --adaptive "
-                     "(use --ladder to pick the tiers)\n");
-        return 2;
-    }
-    if (args.positional.empty()) {
-        std::fprintf(stderr, "pstat: eval needs shard files\n");
-        return 2;
-    }
-    const auto stream_config = streamConfig(args);
-    if (!stream_config)
-        return 2;
-
-    // Certification: the LoFreq threshold (plus PSTAT_CERT_TOL when
-    // set) unless --tol/--threshold override it. Both are strictly
-    // parsed — a malformed or non-negative tolerance is a usage
-    // error, never a silently mangled certification.
-    engine::CertConfig cert = engine::defaultPValueCert();
-    if (const auto tol = option(args, "tol")) {
-        const auto parsed = engine::parseDouble(tol->c_str());
-        if (!parsed || !(*parsed < 0.0) || !std::isfinite(*parsed)) {
-            std::fprintf(stderr,
-                         "pstat: --tol wants a negative log2 "
-                         "relative tolerance, got \"%s\"\n",
-                         tol->c_str());
-            return 2;
-        }
-        cert.tol_rel_log2 = *parsed;
-    }
-    if (const auto thr = option(args, "threshold")) {
-        const auto parsed = engine::parseDouble(thr->c_str());
-        if (!parsed || !std::isfinite(*parsed)) {
-            std::fprintf(stderr,
-                         "pstat: --threshold wants a finite log2 "
-                         "cutoff, got \"%s\"\n",
-                         thr->c_str());
-            return 2;
-        }
-        cert.threshold_log2 = *parsed;
-    }
-
-    const engine::Ladder *ladder = &engine::defaultLadder();
-    std::optional<engine::Ladder> parsed_ladder;
-    if (const auto spec = option(args, "ladder")) {
-        parsed_ladder = engine::parseLadder(*spec);
-        if (!parsed_ladder) {
-            std::fprintf(stderr,
-                         "pstat: bad --ladder \"%s\" (ids:",
-                         spec->c_str());
-            for (const auto &known :
-                 engine::FormatRegistry::instance().ids())
-                std::fprintf(stderr, " %s", known.c_str());
-            std::fprintf(stderr, ")\n");
-            return 2;
-        }
-        ladder = &*parsed_ladder;
-    }
-
-    engine::EvalEngine engine;
+    engine::EvalEngine engine(plan.threads,
+                              static_cast<size_t>(plan.grain));
     engine::AccuracyTally tally("adaptive");
     size_t calls = 0;
     size_t certified = 0;
     size_t uncertified = 0;
     size_t skipped_total = 0;
 
-    io::ShardStream stream(args.positional, *stream_config);
+    engine::PlanInputs inputs;
+    inputs.adaptive_sink = [&](size_t, const io::ShardReader &shard,
+                               const engine::AdaptiveBatch &batch) {
+        size_t shard_calls = 0;
+        if (batch.cert.threshold_log2) {
+            const double t = *batch.cert.threshold_log2;
+            for (const auto &r : batch.results) {
+                if (r.certified && r.interval.hi_log2 < t)
+                    ++shard_calls;
+            }
+        }
+        calls += shard_calls;
+        certified += batch.certified;
+        uncertified += batch.uncertified;
+        size_t shard_skipped = 0;
+        for (const uint8_t s : batch.skipped)
+            shard_skipped += s;
+        skipped_total += shard_skipped;
+        tally.recordTiers(batch.tiers);
+        std::printf("%s: %zu columns, %zu certified, %zu "
+                    "uncertified, %zu calls\n",
+                    shard.path().c_str(), shard.size(),
+                    batch.certified, batch.uncertified, shard_calls);
+    };
     try {
-        const auto stats = engine.pvalueAdaptiveStream(
-            *ladder, stream,
-            [&](size_t, const io::ShardReader &shard,
-                const engine::AdaptiveBatch &batch) {
-                size_t shard_calls = 0;
-                if (batch.cert.threshold_log2) {
-                    const double t = *batch.cert.threshold_log2;
-                    for (const auto &r : batch.results) {
-                        if (r.certified && r.interval.hi_log2 < t)
-                            ++shard_calls;
-                    }
-                }
-                calls += shard_calls;
-                certified += batch.certified;
-                uncertified += batch.uncertified;
-                size_t shard_skipped = 0;
-                for (const uint8_t s : batch.skipped)
-                    shard_skipped += s;
-                skipped_total += shard_skipped;
-                tally.recordTiers(batch.tiers);
-                std::printf("%s: %zu columns, %zu certified, %zu "
-                            "uncertified, %zu calls\n",
-                            shard.path().c_str(), shard.size(),
-                            batch.certified, batch.uncertified,
-                            shard_calls);
-            },
-            cert);
+        const auto stats = engine.run(plan, inputs).stream;
         std::printf("total: %zu shards, %zu columns, %zu certified, "
                     "%zu uncertified, %zu skipped",
                     stats.shards, stats.items, certified, uncertified,
                     skipped_total);
-        if (cert.threshold_log2) {
+        if (plan.cert.threshold_log2) {
             std::printf(", %zu calls (p < 2^%g)", calls,
-                        *cert.threshold_log2);
+                        *plan.cert.threshold_log2);
         }
         std::printf(" [%u lanes]\n", engine.threadCount());
         for (const engine::TierStats &tier : tally.tierStats()) {
@@ -463,29 +466,257 @@ runEvalAdaptive(const Args &args)
     return 0;
 }
 
+/**
+ * Execute a Screened pvalue shard-stream plan with the classic
+ * `screen` reporting (skip fractions, guard-band hits).
+ */
+int
+executeScreenedPlan(const engine::EvalPlan &plan)
+{
+    engine::EvalEngine engine(plan.threads,
+                              static_cast<size_t>(plan.grain));
+    pbd::ScreenStats totals;
+
+    engine::PlanInputs inputs;
+    inputs.screened_sink =
+        [&](size_t, const io::ShardReader &shard,
+            const engine::ScreenedPValueBatch &batch) {
+            totals.columns += batch.stats.columns;
+            totals.skipped += batch.stats.skipped;
+            totals.evaluated += batch.stats.evaluated;
+            totals.guard_band_hits += batch.stats.guard_band_hits;
+            std::printf("%s: %zu columns, %zu skipped, %zu "
+                        "evaluated, %zu guard hits\n",
+                        shard.path().c_str(), batch.stats.columns,
+                        batch.stats.skipped, batch.stats.evaluated,
+                        batch.stats.guard_band_hits);
+        };
+    try {
+        const auto stats = engine.run(plan, inputs).stream;
+        const double skip_frac =
+            totals.columns > 0
+                ? static_cast<double>(totals.skipped) /
+                      static_cast<double>(totals.columns)
+                : 0.0;
+        std::printf("total: %zu shards, %zu columns, %zu skipped "
+                    "(%.1f%%), %zu evaluated, %zu guard hits "
+                    "[guard %g bits, %s, %u lanes]\n",
+                    stats.shards, totals.columns, totals.skipped,
+                    100.0 * skip_frac, totals.evaluated,
+                    totals.guard_band_hits,
+                    plan.screen.guard_band_log2,
+                    plan.format_id.c_str(), engine.threadCount());
+    } catch (const io::ShardError &error) {
+        std::fprintf(stderr, "pstat: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * Execute any CLI-supported plan: the pvalue shard-stream plans of
+ * `eval` and `screen` (loaded or flag-built). Applies the plan's
+ * SIMD provisioning knob first — the engine's ISA dispatch resolves
+ * once per process, so this must precede the first kernel call.
+ */
+int
+executePlan(const engine::EvalPlan &plan)
+{
+    if (plan.kernel != engine::PlanKernel::PValue ||
+        plan.source != engine::PlanSource::ShardStream) {
+        std::fprintf(stderr,
+                     "pstat: only pvalue shard-stream plans run "
+                     "here, got \"%s\"\n",
+                     engine::describePlan(plan).c_str());
+        return 2;
+    }
+    if (plan.shard_paths.empty()) {
+        std::fprintf(stderr, "pstat: eval needs shard files\n");
+        return 2;
+    }
+    if (!plan.simd.empty())
+        ::setenv("PSTAT_SIMD", plan.simd.c_str(), 1);
+    switch (plan.policy) {
+    case engine::PlanPolicy::Fixed:
+        return executeFixedPlan(plan);
+    case engine::PlanPolicy::Screened:
+        return executeScreenedPlan(plan);
+    default:
+        return executeAdaptivePlan(plan);
+    }
+}
+
+/**
+ * Shared --plan-dump handling: when the flag is present, encode the
+ * plan to the given path (no execution). Returns the exit code, or
+ * nullopt when no dump was requested and the caller should execute.
+ */
+std::optional<int>
+maybeDumpPlan(const Args &args, const engine::EvalPlan &plan)
+{
+    const auto dump = option(args, "plan-dump");
+    if (!dump)
+        return std::nullopt;
+    try {
+        engine::validatePlan(plan);
+        engine::writePlanFile(*dump, plan);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "pstat: %s\n", error.what());
+        return 1;
+    }
+    std::printf("plan: %s\n", engine::describePlan(plan).c_str());
+    std::printf("wrote %s (%zu bytes)\n", dump->c_str(),
+                engine::encodePlan(plan).size());
+    return 0;
+}
+
+// --------------------------------------------------------------- eval
+
+/** Build the Fixed-policy eval plan from flags; nullopt = usage. */
+std::optional<engine::EvalPlan>
+buildEvalFixedPlan(const Args &args)
+{
+    const auto *format = lookupFormat(args);
+    if (format == nullptr)
+        return std::nullopt;
+    const auto queue = queueCapacity(args);
+    if (!queue)
+        return std::nullopt;
+
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::PValue;
+    plan.source = engine::PlanSource::ShardStream;
+    plan.policy = engine::PlanPolicy::Fixed;
+    plan.format_id = format->id();
+    plan.queue_capacity = *queue;
+    plan.shard_paths = args.positional;
+    return plan;
+}
+
+/** Build the Adaptive-policy eval plan from flags; nullopt = usage. */
+std::optional<engine::EvalPlan>
+buildEvalAdaptivePlan(const Args &args)
+{
+    if (option(args, "format")) {
+        std::fprintf(stderr,
+                     "pstat: --format conflicts with --adaptive "
+                     "(use --ladder to pick the tiers)\n");
+        return std::nullopt;
+    }
+    const auto queue = queueCapacity(args);
+    if (!queue)
+        return std::nullopt;
+
+    // Certification: the LoFreq threshold (plus PSTAT_CERT_TOL when
+    // set) unless --tol/--threshold override it. Both are strictly
+    // parsed — a malformed or non-negative tolerance is a usage
+    // error, never a silently mangled certification.
+    engine::CertConfig cert = engine::defaultPValueCert();
+    if (const auto tol = option(args, "tol")) {
+        const auto parsed = engine::parseDouble(tol->c_str());
+        if (!parsed || !(*parsed < 0.0) || !std::isfinite(*parsed)) {
+            std::fprintf(stderr,
+                         "pstat: --tol wants a negative log2 "
+                         "relative tolerance, got \"%s\"\n",
+                         tol->c_str());
+            return std::nullopt;
+        }
+        cert.tol_rel_log2 = *parsed;
+    }
+    if (const auto thr = option(args, "threshold")) {
+        const auto parsed = engine::parseDouble(thr->c_str());
+        if (!parsed || !std::isfinite(*parsed)) {
+            std::fprintf(stderr,
+                         "pstat: --threshold wants a finite log2 "
+                         "cutoff, got \"%s\"\n",
+                         thr->c_str());
+            return std::nullopt;
+        }
+        cert.threshold_log2 = *parsed;
+    }
+
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::PValue;
+    plan.source = engine::PlanSource::ShardStream;
+    plan.policy = engine::PlanPolicy::Adaptive;
+    plan.cert = cert;
+    plan.queue_capacity = *queue;
+    plan.shard_paths = args.positional;
+
+    // An explicit --ladder pins the tiers into the plan; without it
+    // the plan's empty ladder_ids defer to the executor's default
+    // (PSTAT_LADDER-overridable), matching the pre-plan behavior.
+    if (const auto spec = option(args, "ladder")) {
+        const auto parsed = engine::parseLadder(*spec);
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "pstat: bad --ladder \"%s\" (ids:",
+                         spec->c_str());
+            for (const auto &known :
+                 engine::FormatRegistry::instance().ids())
+                std::fprintf(stderr, " %s", known.c_str());
+            std::fprintf(stderr, ")\n");
+            return std::nullopt;
+        }
+        for (const engine::FormatOps *tier : parsed->tiers)
+            plan.ladder_ids.push_back(tier->id());
+    }
+    return plan;
+}
+
 int
 runEval(const Args &args)
 {
-    if (option(args, "adaptive"))
-        return runEvalAdaptive(args);
-    return runEvalFixed(args);
+    // --plan-file: replay a dumped plan. Positional shards override
+    // the plan's own paths; any other flag would silently fight the
+    // loaded plan, so the combination is rejected.
+    if (const auto plan_path = option(args, "plan-file")) {
+        for (const auto &[name, value] : args.options) {
+            if (name != "plan-file" && name != "plan-dump") {
+                std::fprintf(stderr,
+                             "pstat: --%s conflicts with "
+                             "--plan-file (the plan already "
+                             "carries the configuration)\n",
+                             name.c_str());
+                return 2;
+            }
+        }
+        engine::EvalPlan plan;
+        try {
+            plan = engine::readPlanFile(*plan_path);
+        } catch (const engine::PlanError &error) {
+            std::fprintf(stderr, "pstat: %s\n", error.what());
+            return 1;
+        }
+        if (!args.positional.empty())
+            plan.shard_paths = args.positional;
+        if (const auto dumped = maybeDumpPlan(args, plan))
+            return *dumped;
+        return executePlan(plan);
+    }
+
+    const auto plan = option(args, "adaptive")
+                          ? buildEvalAdaptivePlan(args)
+                          : buildEvalFixedPlan(args);
+    if (!plan)
+        return 2;
+    if (const auto dumped = maybeDumpPlan(args, *plan))
+        return *dumped;
+    return executePlan(*plan);
 }
 
 // ------------------------------------------------------------- screen
 
-int
-runScreen(const Args &args)
+/** Build the Screened-policy plan from flags; nullopt = usage. */
+std::optional<engine::EvalPlan>
+buildScreenPlan(const Args &args)
 {
     const auto *format = lookupFormat(args);
     if (format == nullptr)
-        return 2;
-    if (args.positional.empty()) {
-        std::fprintf(stderr, "pstat: screen needs shard files\n");
-        return 2;
-    }
-    const auto stream_config = streamConfig(args);
-    if (!stream_config)
-        return 2;
+        return std::nullopt;
+    const auto queue = queueCapacity(args);
+    if (!queue)
+        return std::nullopt;
 
     // Guard band, strictly parsed. std::atof was used here before:
     // "64x" and "banana" both read as valid bands (64 and 0 — the
@@ -510,48 +741,35 @@ runScreen(const Args &args)
                          "pstat: --guard-bits wants a number, got "
                          "\"%s\"\n",
                          guard->c_str());
-            return 2;
+            return std::nullopt;
         }
         screen.guard_band_log2 = *parsed;
     }
 
-    engine::EvalEngine engine;
-    pbd::ScreenStats totals;
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::PValue;
+    plan.source = engine::PlanSource::ShardStream;
+    plan.policy = engine::PlanPolicy::Screened;
+    plan.format_id = format->id();
+    plan.screen = screen;
+    plan.queue_capacity = *queue;
+    plan.shard_paths = args.positional;
+    return plan;
+}
 
-    io::ShardStream stream(args.positional, *stream_config);
-    try {
-        const auto stats = engine.pvalueScreenedStream(
-            *format, stream,
-            [&](size_t, const io::ShardReader &shard,
-                const engine::ScreenedPValueBatch &batch) {
-                totals.columns += batch.stats.columns;
-                totals.skipped += batch.stats.skipped;
-                totals.evaluated += batch.stats.evaluated;
-                totals.guard_band_hits += batch.stats.guard_band_hits;
-                std::printf("%s: %zu columns, %zu skipped, %zu "
-                            "evaluated, %zu guard hits\n",
-                            shard.path().c_str(), batch.stats.columns,
-                            batch.stats.skipped, batch.stats.evaluated,
-                            batch.stats.guard_band_hits);
-            },
-            screen);
-        const double skip_frac =
-            totals.columns > 0
-                ? static_cast<double>(totals.skipped) /
-                      static_cast<double>(totals.columns)
-                : 0.0;
-        std::printf("total: %zu shards, %zu columns, %zu skipped "
-                    "(%.1f%%), %zu evaluated, %zu guard hits "
-                    "[guard %g bits, %s, %u lanes]\n",
-                    stats.shards, totals.columns, totals.skipped,
-                    100.0 * skip_frac, totals.evaluated,
-                    totals.guard_band_hits, screen.guard_band_log2,
-                    format->id().c_str(), engine.threadCount());
-    } catch (const io::ShardError &error) {
-        std::fprintf(stderr, "pstat: %s\n", error.what());
-        return 1;
+int
+runScreen(const Args &args)
+{
+    const auto plan = buildScreenPlan(args);
+    if (!plan)
+        return 2;
+    if (const auto dumped = maybeDumpPlan(args, *plan))
+        return *dumped;
+    if (plan->shard_paths.empty()) {
+        std::fprintf(stderr, "pstat: screen needs shard files\n");
+        return 2;
     }
-    return 0;
+    return executePlan(*plan);
 }
 
 } // namespace
@@ -575,10 +793,11 @@ pstatMain(int argc, const char *const *argv)
     else if (command == "info")
         known = {};
     else if (command == "eval") {
-        known = {"format", "queue", "ladder", "tol", "threshold"};
+        known = {"format", "queue", "ladder", "tol", "threshold",
+                 "plan-dump", "plan-file"};
         flags = {"adaptive"};
     } else if (command == "screen")
-        known = {"format", "queue", "guard-bits"};
+        known = {"format", "queue", "guard-bits", "plan-dump"};
     else {
         std::fprintf(stderr, "pstat: unknown command \"%s\"\n",
                      command.c_str());

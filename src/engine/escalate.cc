@@ -714,20 +714,8 @@ EvalEngine::adaptiveEval(
     return out;
 }
 
-AdaptiveBatch
-EvalEngine::pvalueAdaptiveBatch(
-    const Ladder &ladder, std::span<const pbd::Column> columns,
-    const CertConfig &cert,
-    const std::optional<pbd::ScreenConfig> &screen, SumPolicy sum)
-{
-    return adaptiveEval(
-        ladder, columns.size(),
-        [&](size_t i) { return columns[i].view(); }, cert, screen,
-        sum);
-}
-
 StreamStats
-EvalEngine::pvalueAdaptiveStream(
+EvalEngine::pvalueAdaptiveStreamImpl(
     const Ladder &ladder, io::ShardStream &shards,
     const AdaptiveShardSink &sink, const CertConfig &cert,
     const std::optional<pbd::ScreenConfig> &screen, SumPolicy sum)
@@ -749,7 +737,7 @@ EvalEngine::pvalueAdaptiveStream(
 }
 
 AdaptiveBatch
-EvalEngine::forwardAdaptiveBatch(const Ladder &ladder,
+EvalEngine::forwardAdaptiveBatchImpl(const Ladder &ladder,
                                  std::span<const ForwardJob> jobs,
                                  const CertConfig &cert,
                                  Dataflow dataflow)

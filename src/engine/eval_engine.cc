@@ -1,10 +1,13 @@
 #include "engine/eval_engine.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <utility>
 
 #include "core/accuracy.hh"
@@ -221,8 +224,519 @@ EvalEngine::runBatch(size_t n,
             std::exchange(first_error_, nullptr));
 }
 
+namespace
+{
+
+/** The wrapper-side SumPolicy -> PlanSum mapping (always pinned). */
+PlanSum
+planSum(SumPolicy sum)
+{
+    return sum == SumPolicy::Compensated ? PlanSum::Compensated
+                                         : PlanSum::Plain;
+}
+
+/** The executor-side PlanSum -> SumPolicy resolution. */
+SumPolicy
+resolveSum(PlanSum sum)
+{
+    switch (sum) {
+    case PlanSum::Plain:
+        return SumPolicy::Plain;
+    case PlanSum::Compensated:
+        return SumPolicy::Compensated;
+    case PlanSum::Default:
+        break;
+    }
+    return defaultSumPolicy();
+}
+
+/** Registry ids of a borrowed ladder (wrapper -> plan direction). */
+std::vector<std::string>
+ladderIds(const Ladder &ladder)
+{
+    std::vector<std::string> ids;
+    ids.reserve(ladder.tiers.size());
+    for (const FormatOps *tier : ladder.tiers)
+        ids.push_back(tier->id());
+    return ids;
+}
+
+/** Fold one shard's screened batch into the sink-less accumulator. */
+void
+mergeScreened(ScreenedPValueBatch &total,
+              const ScreenedPValueBatch &batch)
+{
+    total.config = batch.config;
+    total.results.insert(total.results.end(), batch.results.begin(),
+                         batch.results.end());
+    total.skipped.insert(total.skipped.end(), batch.skipped.begin(),
+                         batch.skipped.end());
+    total.estimates_log2.insert(total.estimates_log2.end(),
+                                batch.estimates_log2.begin(),
+                                batch.estimates_log2.end());
+    total.stats.columns += batch.stats.columns;
+    total.stats.skipped += batch.stats.skipped;
+    total.stats.evaluated += batch.stats.evaluated;
+    total.stats.guard_band_hits += batch.stats.guard_band_hits;
+}
+
+/** Fold one shard's adaptive batch into the sink-less accumulator
+ *  (tier tallies merged by format_id in first-seen order, exactly
+ *  like AccuracyTally::recordTiers). */
+void
+mergeAdaptive(AdaptiveBatch &total, const AdaptiveBatch &batch)
+{
+    total.cert = batch.cert;
+    total.results.insert(total.results.end(), batch.results.begin(),
+                         batch.results.end());
+    total.skipped.insert(total.skipped.end(), batch.skipped.begin(),
+                         batch.skipped.end());
+    total.estimates_log2.insert(total.estimates_log2.end(),
+                                batch.estimates_log2.begin(),
+                                batch.estimates_log2.end());
+    for (const TierStats &tier : batch.tiers) {
+        const auto it = std::find_if(
+            total.tiers.begin(), total.tiers.end(),
+            [&](const TierStats &t) {
+                return t.format_id == tier.format_id;
+            });
+        if (it == total.tiers.end()) {
+            total.tiers.push_back(tier);
+            continue;
+        }
+        it->evaluated += tier.evaluated;
+        it->certified += tier.certified;
+        it->bypassed += tier.bypassed;
+        it->wall_ms += tier.wall_ms;
+    }
+    total.certified += batch.certified;
+    total.uncertified += batch.uncertified;
+    total.screen_stats.columns += batch.screen_stats.columns;
+    total.screen_stats.skipped += batch.screen_stats.skipped;
+    total.screen_stats.evaluated += batch.screen_stats.evaluated;
+    total.screen_stats.guard_band_hits +=
+        batch.screen_stats.guard_band_hits;
+}
+
+[[noreturn]] void
+unsupportedCombination(const EvalPlan &plan)
+{
+    throw std::invalid_argument(
+        std::string("plan: unsupported combination ") +
+        planKernelName(plan.kernel) + " x " +
+        planSourceName(plan.source) + " x " +
+        planPolicyName(plan.policy));
+}
+
+} // namespace
+
+PlanRun
+EvalEngine::run(const EvalPlan &plan, const PlanInputs &inputs)
+{
+    validatePlan(plan);
+    const SumPolicy sum = resolveSum(plan.sum);
+    const bool adaptive =
+        plan.policy == PlanPolicy::Adaptive ||
+        plan.policy == PlanPolicy::ScreenedAdaptive;
+
+    // Format / ladder resolution: a bound inputs.format / .ladder
+    // wins (the wrappers bind theirs so even a hypothetical
+    // off-registry FormatOps keeps working); otherwise the plan's
+    // ids resolve against the registry — the same singletons a
+    // direct caller would pass, so the results are identical.
+    const FormatOps *format = inputs.format;
+    if (format == nullptr && !adaptive)
+        format = FormatRegistry::instance().find(plan.format_id);
+    Ladder resolved_ladder;
+    const Ladder *ladder = inputs.ladder;
+    if (ladder == nullptr && adaptive) {
+        if (plan.ladder_ids.empty()) {
+            ladder = &defaultLadder();
+        } else {
+            for (const std::string &id : plan.ladder_ids)
+                resolved_ladder.tiers.push_back(
+                    FormatRegistry::instance().find(id));
+            ladder = &resolved_ladder;
+        }
+    }
+    std::optional<pbd::ScreenConfig> screen;
+    if (plan.policy == PlanPolicy::Screened ||
+        plan.policy == PlanPolicy::ScreenedAdaptive)
+        screen = plan.screen;
+
+    PlanRun out;
+    if (plan.source == PlanSource::Memory) {
+        switch (plan.kernel) {
+        case PlanKernel::PValue: {
+            const std::span<const pbd::Column> columns = inputs.columns;
+            if (plan.policy == PlanPolicy::Fixed) {
+                out.results = pvalueBatchImpl(*format, columns, sum);
+            } else if (plan.policy == PlanPolicy::Screened) {
+                out.screened = screenedEval(
+                    *format, columns.size(),
+                    [&](size_t i) { return columns[i].view(); },
+                    plan.screen, sum);
+            } else {
+                out.adaptive = adaptiveEval(
+                    *ladder, columns.size(),
+                    [&](size_t i) { return columns[i].view(); },
+                    plan.cert, screen, sum);
+            }
+            break;
+        }
+        case PlanKernel::Forward:
+            if (plan.policy == PlanPolicy::Fixed)
+                out.results = forwardBatchImpl(*format, inputs.jobs,
+                                               plan.dataflow);
+            else
+                out.adaptive = forwardAdaptiveBatchImpl(
+                    *ladder, inputs.jobs, plan.cert, plan.dataflow);
+            break;
+        case PlanKernel::Backward:
+            out.results = backwardBatchImpl(*format, inputs.jobs,
+                                            plan.dataflow);
+            break;
+        case PlanKernel::Posterior:
+            out.posteriors =
+                posteriorBatchImpl(*format, inputs.jobs,
+                                   plan.dataflow, plan.renormalize);
+            break;
+        case PlanKernel::Viterbi:
+            out.decodes = viterbiBatchImpl(*format, inputs.jobs);
+            break;
+        }
+        return out;
+    }
+
+    // ShardStream source: bind the caller's open stream, or open one
+    // from the plan's own paths.
+    io::ShardStream *stream = inputs.stream;
+    std::optional<io::ShardStream> owned_stream;
+    if (stream == nullptr) {
+        if (plan.shard_paths.empty())
+            throw std::invalid_argument(
+                "plan: shard-stream source has no shard paths and no "
+                "bound stream");
+        io::ShardStreamConfig config;
+        config.queue_capacity =
+            static_cast<size_t>(plan.queue_capacity);
+        owned_stream.emplace(plan.shard_paths, config);
+        stream = &*owned_stream;
+    }
+
+    switch (plan.kernel) {
+    case PlanKernel::PValue:
+        if (plan.policy == PlanPolicy::Fixed) {
+            const ShardResultSink sink =
+                inputs.sink
+                    ? inputs.sink
+                    : ShardResultSink(
+                          [&out](size_t, const io::ShardReader &,
+                                 std::span<const EvalResult> results) {
+                              out.results.insert(out.results.end(),
+                                                 results.begin(),
+                                                 results.end());
+                          });
+            out.stream = pvalueStreamImpl(*format, *stream, sink, sum);
+        } else if (plan.policy == PlanPolicy::Screened) {
+            const ScreenedShardSink sink =
+                inputs.screened_sink
+                    ? inputs.screened_sink
+                    : ScreenedShardSink(
+                          [&out](size_t, const io::ShardReader &,
+                                 const ScreenedPValueBatch &batch) {
+                              mergeScreened(out.screened, batch);
+                          });
+            out.stream = pvalueScreenedStreamImpl(*format, *stream,
+                                                  sink, plan.screen,
+                                                  sum);
+        } else {
+            const AdaptiveShardSink sink =
+                inputs.adaptive_sink
+                    ? inputs.adaptive_sink
+                    : AdaptiveShardSink(
+                          [&out](size_t, const io::ShardReader &,
+                                 const AdaptiveBatch &batch) {
+                              mergeAdaptive(out.adaptive, batch);
+                          });
+            out.stream = pvalueAdaptiveStreamImpl(
+                *ladder, *stream, sink, plan.cert, screen, sum);
+        }
+        break;
+    case PlanKernel::Forward: {
+        if (inputs.model == nullptr)
+            throw std::invalid_argument(
+                "plan: forward shard-stream needs a bound model");
+        const ShardResultSink sink =
+            inputs.sink
+                ? inputs.sink
+                : ShardResultSink(
+                      [&out](size_t, const io::ShardReader &,
+                             std::span<const EvalResult> results) {
+                          out.results.insert(out.results.end(),
+                                             results.begin(),
+                                             results.end());
+                      });
+        out.stream = forwardStreamImpl(*format, *inputs.model,
+                                       *stream, sink, plan.dataflow);
+        break;
+    }
+    default:
+        unsupportedCombination(plan);
+    }
+    return out;
+}
+
 std::vector<EvalResult>
 EvalEngine::pvalueBatch(const FormatOps &format,
+                        std::span<const pbd::Column> columns,
+                        SumPolicy sum)
+{
+    AccuracyTally::noteLegacyApiCall("pvalueBatch");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::PValue;
+    plan.source = PlanSource::Memory;
+    plan.policy = PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    plan.sum = planSum(sum);
+    PlanInputs inputs;
+    inputs.columns = columns;
+    inputs.format = &format;
+    return run(plan, inputs).results;
+}
+
+ScreenedPValueBatch
+EvalEngine::pvalueScreenedBatch(const FormatOps &format,
+                                std::span<const pbd::Column> columns,
+                                const pbd::ScreenConfig &config,
+                                SumPolicy sum)
+{
+    AccuracyTally::noteLegacyApiCall("pvalueScreenedBatch");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::PValue;
+    plan.source = PlanSource::Memory;
+    plan.policy = PlanPolicy::Screened;
+    plan.format_id = format.id();
+    plan.screen = config;
+    plan.sum = planSum(sum);
+    PlanInputs inputs;
+    inputs.columns = columns;
+    inputs.format = &format;
+    return run(plan, inputs).screened;
+}
+
+StreamStats
+EvalEngine::pvalueStream(const FormatOps &format,
+                         io::ShardStream &shards,
+                         const ShardResultSink &sink, SumPolicy sum)
+{
+    AccuracyTally::noteLegacyApiCall("pvalueStream");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::PValue;
+    plan.source = PlanSource::ShardStream;
+    plan.policy = PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    plan.sum = planSum(sum);
+    PlanInputs inputs;
+    inputs.stream = &shards;
+    inputs.format = &format;
+    inputs.sink = sink;
+    return run(plan, inputs).stream;
+}
+
+StreamStats
+EvalEngine::pvalueScreenedStream(const FormatOps &format,
+                                 io::ShardStream &shards,
+                                 const ScreenedShardSink &sink,
+                                 const pbd::ScreenConfig &config,
+                                 SumPolicy sum)
+{
+    AccuracyTally::noteLegacyApiCall("pvalueScreenedStream");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::PValue;
+    plan.source = PlanSource::ShardStream;
+    plan.policy = PlanPolicy::Screened;
+    plan.format_id = format.id();
+    plan.screen = config;
+    plan.sum = planSum(sum);
+    PlanInputs inputs;
+    inputs.stream = &shards;
+    inputs.format = &format;
+    inputs.screened_sink = sink;
+    return run(plan, inputs).stream;
+}
+
+AdaptiveBatch
+EvalEngine::pvalueAdaptiveBatch(
+    const Ladder &ladder, std::span<const pbd::Column> columns,
+    const CertConfig &cert,
+    const std::optional<pbd::ScreenConfig> &screen, SumPolicy sum)
+{
+    AccuracyTally::noteLegacyApiCall("pvalueAdaptiveBatch");
+    // An explicitly empty ladder is a caller error (a plan's *empty
+    // ladder_ids* means the default ladder, so the check cannot wait
+    // for run()).
+    if (ladder.tiers.empty())
+        throw std::invalid_argument("adaptive ladder is empty");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::PValue;
+    plan.source = PlanSource::Memory;
+    plan.policy = screen ? PlanPolicy::ScreenedAdaptive
+                         : PlanPolicy::Adaptive;
+    plan.ladder_ids = ladderIds(ladder);
+    plan.cert = cert;
+    if (screen)
+        plan.screen = *screen;
+    plan.sum = planSum(sum);
+    PlanInputs inputs;
+    inputs.columns = columns;
+    inputs.ladder = &ladder;
+    return run(plan, inputs).adaptive;
+}
+
+AdaptiveBatch
+EvalEngine::forwardAdaptiveBatch(const Ladder &ladder,
+                                 std::span<const ForwardJob> jobs,
+                                 const CertConfig &cert,
+                                 Dataflow dataflow)
+{
+    AccuracyTally::noteLegacyApiCall("forwardAdaptiveBatch");
+    if (ladder.tiers.empty())
+        throw std::invalid_argument("adaptive ladder is empty");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::Forward;
+    plan.source = PlanSource::Memory;
+    plan.policy = PlanPolicy::Adaptive;
+    plan.ladder_ids = ladderIds(ladder);
+    plan.cert = cert;
+    plan.dataflow = dataflow;
+    PlanInputs inputs;
+    inputs.jobs = jobs;
+    inputs.ladder = &ladder;
+    return run(plan, inputs).adaptive;
+}
+
+StreamStats
+EvalEngine::pvalueAdaptiveStream(
+    const Ladder &ladder, io::ShardStream &shards,
+    const AdaptiveShardSink &sink, const CertConfig &cert,
+    const std::optional<pbd::ScreenConfig> &screen, SumPolicy sum)
+{
+    AccuracyTally::noteLegacyApiCall("pvalueAdaptiveStream");
+    if (ladder.tiers.empty())
+        throw std::invalid_argument("adaptive ladder is empty");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::PValue;
+    plan.source = PlanSource::ShardStream;
+    plan.policy = screen ? PlanPolicy::ScreenedAdaptive
+                         : PlanPolicy::Adaptive;
+    plan.ladder_ids = ladderIds(ladder);
+    plan.cert = cert;
+    if (screen)
+        plan.screen = *screen;
+    plan.sum = planSum(sum);
+    PlanInputs inputs;
+    inputs.stream = &shards;
+    inputs.ladder = &ladder;
+    inputs.adaptive_sink = sink;
+    return run(plan, inputs).stream;
+}
+
+StreamStats
+EvalEngine::forwardStream(const FormatOps &format,
+                          const hmm::Model &model,
+                          io::ShardStream &shards,
+                          const ShardResultSink &sink,
+                          Dataflow dataflow)
+{
+    AccuracyTally::noteLegacyApiCall("forwardStream");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::Forward;
+    plan.source = PlanSource::ShardStream;
+    plan.policy = PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    plan.dataflow = dataflow;
+    PlanInputs inputs;
+    inputs.model = &model;
+    inputs.stream = &shards;
+    inputs.format = &format;
+    inputs.sink = sink;
+    return run(plan, inputs).stream;
+}
+
+std::vector<EvalResult>
+EvalEngine::forwardBatch(const FormatOps &format,
+                         std::span<const ForwardJob> jobs,
+                         Dataflow dataflow)
+{
+    AccuracyTally::noteLegacyApiCall("forwardBatch");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::Forward;
+    plan.source = PlanSource::Memory;
+    plan.policy = PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    plan.dataflow = dataflow;
+    PlanInputs inputs;
+    inputs.jobs = jobs;
+    inputs.format = &format;
+    return run(plan, inputs).results;
+}
+
+std::vector<EvalResult>
+EvalEngine::backwardBatch(const FormatOps &format,
+                          std::span<const ForwardJob> jobs,
+                          Dataflow dataflow)
+{
+    AccuracyTally::noteLegacyApiCall("backwardBatch");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::Backward;
+    plan.source = PlanSource::Memory;
+    plan.policy = PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    plan.dataflow = dataflow;
+    PlanInputs inputs;
+    inputs.jobs = jobs;
+    inputs.format = &format;
+    return run(plan, inputs).results;
+}
+
+std::vector<PosteriorResult>
+EvalEngine::posteriorBatch(const FormatOps &format,
+                           std::span<const ForwardJob> jobs,
+                           Dataflow dataflow, bool renormalize)
+{
+    AccuracyTally::noteLegacyApiCall("posteriorBatch");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::Posterior;
+    plan.source = PlanSource::Memory;
+    plan.policy = PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    plan.dataflow = dataflow;
+    plan.renormalize = renormalize;
+    PlanInputs inputs;
+    inputs.jobs = jobs;
+    inputs.format = &format;
+    return run(plan, inputs).posteriors;
+}
+
+std::vector<ViterbiResult>
+EvalEngine::viterbiBatch(const FormatOps &format,
+                         std::span<const ForwardJob> jobs)
+{
+    AccuracyTally::noteLegacyApiCall("viterbiBatch");
+    EvalPlan plan;
+    plan.kernel = PlanKernel::Viterbi;
+    plan.source = PlanSource::Memory;
+    plan.policy = PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    PlanInputs inputs;
+    inputs.jobs = jobs;
+    inputs.format = &format;
+    return run(plan, inputs).decodes;
+}
+
+std::vector<EvalResult>
+EvalEngine::pvalueBatchImpl(const FormatOps &format,
                         std::span<const pbd::Column> columns,
                         SumPolicy sum)
 {
@@ -304,19 +818,8 @@ EvalEngine::screenedEval(
     return out;
 }
 
-ScreenedPValueBatch
-EvalEngine::pvalueScreenedBatch(const FormatOps &format,
-                                std::span<const pbd::Column> columns,
-                                const pbd::ScreenConfig &config,
-                                SumPolicy sum)
-{
-    return screenedEval(
-        format, columns.size(),
-        [&](size_t i) { return columns[i].view(); }, config, sum);
-}
-
 StreamStats
-EvalEngine::pvalueStream(const FormatOps &format,
+EvalEngine::pvalueStreamImpl(const FormatOps &format,
                          io::ShardStream &shards,
                          const ShardResultSink &sink, SumPolicy sum)
 {
@@ -346,7 +849,7 @@ EvalEngine::pvalueStream(const FormatOps &format,
 }
 
 StreamStats
-EvalEngine::pvalueScreenedStream(const FormatOps &format,
+EvalEngine::pvalueScreenedStreamImpl(const FormatOps &format,
                                  io::ShardStream &shards,
                                  const ScreenedShardSink &sink,
                                  const pbd::ScreenConfig &config,
@@ -368,7 +871,7 @@ EvalEngine::pvalueScreenedStream(const FormatOps &format,
 }
 
 StreamStats
-EvalEngine::forwardStream(const FormatOps &format,
+EvalEngine::forwardStreamImpl(const FormatOps &format,
                           const hmm::Model &model,
                           io::ShardStream &shards,
                           const ShardResultSink &sink,
@@ -393,7 +896,7 @@ EvalEngine::forwardStream(const FormatOps &format,
 }
 
 std::vector<EvalResult>
-EvalEngine::forwardBatch(const FormatOps &format,
+EvalEngine::forwardBatchImpl(const FormatOps &format,
                          std::span<const ForwardJob> jobs,
                          Dataflow dataflow)
 {
@@ -417,7 +920,7 @@ EvalEngine::forwardOracleBatch(std::span<const ForwardJob> jobs)
 }
 
 std::vector<EvalResult>
-EvalEngine::backwardBatch(const FormatOps &format,
+EvalEngine::backwardBatchImpl(const FormatOps &format,
                           std::span<const ForwardJob> jobs,
                           Dataflow dataflow)
 {
@@ -441,7 +944,7 @@ EvalEngine::backwardOracleBatch(std::span<const ForwardJob> jobs)
 }
 
 std::vector<PosteriorResult>
-EvalEngine::posteriorBatch(const FormatOps &format,
+EvalEngine::posteriorBatchImpl(const FormatOps &format,
                            std::span<const ForwardJob> jobs,
                            Dataflow dataflow, bool renormalize)
 {
@@ -468,7 +971,7 @@ EvalEngine::posteriorOracleBatch(std::span<const ForwardJob> jobs)
 }
 
 std::vector<ViterbiResult>
-EvalEngine::viterbiBatch(const FormatOps &format,
+EvalEngine::viterbiBatchImpl(const FormatOps &format,
                          std::span<const ForwardJob> jobs)
 {
     std::vector<ViterbiResult> out(jobs.size());
@@ -530,6 +1033,45 @@ AccuracyTally::add(const BigFloat &oracle, const EvalResult &result)
     if (bin >= 0)
         binned_[bin].push_back(err);
     return Outcome::Recorded;
+}
+
+namespace
+{
+
+/** Process-wide legacy wrapper call count (see legacyApiCalls). */
+std::atomic<uint64_t> legacy_api_calls{0};
+
+} // namespace
+
+uint64_t
+AccuracyTally::legacyApiCalls()
+{
+    return legacy_api_calls.load(std::memory_order_relaxed);
+}
+
+void
+AccuracyTally::resetLegacyApiCalls()
+{
+    legacy_api_calls.store(0, std::memory_order_relaxed);
+}
+
+void
+AccuracyTally::noteLegacyApiCall(const char *entry_point)
+{
+    legacy_api_calls.fetch_add(1, std::memory_order_relaxed);
+    // Re-read the knob every call (not a cached static): tests and
+    // long-lived hosts toggle it at run time around a workload.
+    if (std::getenv("PSTAT_WARN_LEGACY_API") == nullptr)
+        return;
+    static std::mutex warned_mutex;
+    static std::set<std::string> warned;
+    std::lock_guard<std::mutex> lock(warned_mutex);
+    if (warned.insert(entry_point).second) {
+        std::fprintf(stderr,
+                     "pstat: legacy entry point EvalEngine::%s — "
+                     "build an EvalPlan and call EvalEngine::run\n",
+                     entry_point);
+    }
 }
 
 void

@@ -33,10 +33,28 @@
 
 #include "engine/escalate.hh"
 #include "engine/format_registry.hh"
+#include "engine/plan.hh"
 #include "io/shard_stream.hh"
 #include "pbd/dataset.hh"
 #include "pbd/screen.hh"
 #include "stats/summary.hh"
+
+/**
+ * @def PSTAT_LEGACY_API
+ * Deprecation hook of the legacy EvalEngine entry points. Empty by
+ * default; building with -DPSTAT_DEPRECATE_LEGACY_API expands it to
+ * `[[deprecated]]` so downstream call sites surface as compiler
+ * warnings once a migration to EvalEngine::run(EvalPlan) starts. The
+ * runtime companion is the PSTAT_WARN_LEGACY_API environment knob
+ * (see AccuracyTally::legacyApiCalls), which counts and optionally
+ * reports legacy calls without recompiling anything.
+ */
+#ifdef PSTAT_DEPRECATE_LEGACY_API
+#define PSTAT_LEGACY_API                                              \
+    [[deprecated("build an EvalPlan and call EvalEngine::run")]]
+#else
+#define PSTAT_LEGACY_API
+#endif
 
 namespace pstat::engine
 {
@@ -110,6 +128,70 @@ using AdaptiveShardSink =
     std::function<void(size_t shard_index, const io::ShardReader &shard,
                        const AdaptiveBatch &batch)>;
 
+/**
+ * Runtime bindings of one plan execution — everything a plan cannot
+ * carry across a process boundary: the in-memory spans, the borrowed
+ * HMM model, an already-open shard stream, and the per-shard result
+ * sinks. All fields are optional; EvalEngine::run throws
+ * std::invalid_argument when the plan needs a binding the caller did
+ * not supply (e.g. a Forward shard-stream plan without a model).
+ */
+struct PlanInputs
+{
+    /** Columns of a PValue x Memory plan. */
+    std::span<const pbd::Column> columns;
+    /** Jobs of an HMM-kernel x Memory plan. */
+    std::span<const ForwardJob> jobs;
+    /** Borrowed model of a Forward x ShardStream plan. */
+    const hmm::Model *model = nullptr;
+    /**
+     * Already-open stream of a ShardStream plan; when null, run()
+     * opens one itself from plan.shard_paths / queue_capacity.
+     */
+    io::ShardStream *stream = nullptr;
+    /**
+     * Format override of a Fixed/Screened plan; when null, run()
+     * resolves plan.format_id against the registry (same registry
+     * singletons either way, so results are identical).
+     */
+    const FormatOps *format = nullptr;
+    /**
+     * Ladder override of an adaptive plan; when null, run() resolves
+     * plan.ladder_ids (empty ids = defaultLadder()).
+     */
+    const Ladder *ladder = nullptr;
+    /** Per-shard delivery of a Fixed stream (else accumulated). */
+    ShardResultSink sink;
+    /** Per-shard delivery of a Screened stream (else accumulated). */
+    ScreenedShardSink screened_sink;
+    /** Per-shard delivery of an adaptive stream (else accumulated). */
+    AdaptiveShardSink adaptive_sink;
+};
+
+/**
+ * Everything one plan execution produced. Only the fields matching
+ * the plan's kernel x source x policy are populated; the rest stay
+ * default-constructed. Streamed executions without a sink accumulate
+ * per-shard results here (batches concatenated in shard order, tier
+ * and screen tallies merged), so small callers need no sink at all.
+ */
+struct PlanRun
+{
+    /** Per-item results of the Fixed policy (pvalue / forward /
+     *  backward kernels; concatenated across shards for streams). */
+    std::vector<EvalResult> results;
+    /** Per-job posterior marginals of a Posterior plan. */
+    std::vector<PosteriorResult> posteriors;
+    /** Per-job decodes of a Viterbi plan. */
+    std::vector<ViterbiResult> decodes;
+    /** The screened batch of a Screened plan (merged for streams). */
+    ScreenedPValueBatch screened;
+    /** The adaptive batch of an adaptive plan (merged for streams). */
+    AdaptiveBatch adaptive;
+    /** Pipeline bookkeeping of a ShardStream plan. */
+    StreamStats stream;
+};
+
 /** A persistent worker pool evaluating kernel batches. */
 class EvalEngine
 {
@@ -175,17 +257,48 @@ class EvalEngine
         size_t n, const std::function<void(size_t, size_t)> &fn);
 
     /**
+     * The one evaluation pipeline: validate the plan (validatePlan,
+     * plus binding-level checks against @p inputs), resolve its
+     * format / ladder / summation policy, and execute its kernel x
+     * source x accuracy-policy combination over the pool. Every
+     * legacy entry point below is a thin wrapper that builds the
+     * equivalent plan and delegates here, so for each combination the
+     * results are bit-identical to the pre-plan entry points
+     * (ctest-enforced per registered format by tests/test_plan.cc).
+     *
+     * Plan knobs consumed here: kernel, source, policy, format_id /
+     * ladder_ids (unless overridden via inputs), cert, screen, sum
+     * (PlanSum::Default resolves defaultSumPolicy() now), dataflow,
+     * renormalize, shard_paths / queue_capacity (unless
+     * inputs.stream is bound). Provisioning knobs — threads, grain,
+     * simd — parameterize the engine the plan runs on and are the
+     * constructor's / process environment's job, not run()'s.
+     *
+     * Throws std::invalid_argument on an invalid plan, an unsupported
+     * combination, or a missing binding; propagates io errors from
+     * shard streaming.
+     */
+    PlanRun run(const EvalPlan &plan, const PlanInputs &inputs = {});
+
+    /**
      * Listing-2 p-values of every column, in column order, under the
      * chosen summation policy (defaulting to the process-wide
      * PSTAT_COMPENSATED knob, so every engine-backed caller honors
      * it without per-call-site wiring).
+     *
+     * Legacy wrapper: builds the PValue x Memory x Fixed plan and
+     * delegates to run().
      */
-    std::vector<EvalResult>
+    PSTAT_LEGACY_API std::vector<EvalResult>
     pvalueBatch(const FormatOps &format,
                 std::span<const pbd::Column> columns,
                 SumPolicy sum = defaultSumPolicy());
 
-    /** Oracle (ScaledDD) p-values of every column. */
+    /**
+     * Oracle (ScaledDD) p-values of every column. The oracle batches
+     * are the *measurement* surface, not an evaluation policy, so
+     * they stay direct instead of routing through a plan.
+     */
     std::vector<BigFloat>
     pvalueOracleBatch(std::span<const pbd::Column> columns);
 
@@ -198,8 +311,11 @@ class EvalEngine
      * every evaluated column the result is bit-identical to the
      * corresponding pvalueBatch slot; skipped columns carry an
      * order-of-magnitude placeholder and skipped[i] = 1.
+     *
+     * Legacy wrapper: builds the PValue x Memory x Screened plan and
+     * delegates to run().
      */
-    ScreenedPValueBatch
+    PSTAT_LEGACY_API ScreenedPValueBatch
     pvalueScreenedBatch(const FormatOps &format,
                         std::span<const pbd::Column> columns,
                         const pbd::ScreenConfig &config = {},
@@ -213,8 +329,11 @@ class EvalEngine
      * Results are bit-identical to pvalueBatch on the same columns;
      * peak memory is O(shard), bounded by the stream's queue
      * capacity, never O(dataset).
+     *
+     * Legacy wrapper: builds the PValue x ShardStream x Fixed plan
+     * (binding the open stream and sink) and delegates to run().
      */
-    StreamStats
+    PSTAT_LEGACY_API StreamStats
     pvalueStream(const FormatOps &format, io::ShardStream &shards,
                  const ShardResultSink &sink,
                  SumPolicy sum = defaultSumPolicy());
@@ -227,8 +346,11 @@ class EvalEngine
      * estimates, stats) is bit-identical to pvalueScreenedBatch on
      * that shard's columns. The sink's batch reference is only valid
      * for the duration of the call.
+     *
+     * Legacy wrapper: builds the PValue x ShardStream x Screened
+     * plan and delegates to run().
      */
-    StreamStats
+    PSTAT_LEGACY_API StreamStats
     pvalueScreenedStream(const FormatOps &format,
                          io::ShardStream &shards,
                          const ScreenedShardSink &sink,
@@ -246,8 +368,11 @@ class EvalEngine
      * precedence; skipped columns are never escalated. Throws
      * std::invalid_argument on an empty ladder or a CertConfig with
      * no criterion (or non-negative/non-finite ones).
+     *
+     * Legacy wrapper: builds the PValue x Memory x Adaptive (or
+     * ScreenedAdaptive) plan and delegates to run().
      */
-    AdaptiveBatch
+    PSTAT_LEGACY_API AdaptiveBatch
     pvalueAdaptiveBatch(const Ladder &ladder,
                         std::span<const pbd::Column> columns,
                         const CertConfig &cert,
@@ -261,8 +386,11 @@ class EvalEngine
      * (engine/escalate.hh forwardInterval) certifies the CertConfig
      * criteria. No analytic tier or screen exists for sequences; the
      * ladder's first certifiable tier does the first real work.
+     *
+     * Legacy wrapper: builds the Forward x Memory x Adaptive plan
+     * and delegates to run().
      */
-    AdaptiveBatch
+    PSTAT_LEGACY_API AdaptiveBatch
     forwardAdaptiveBatch(const Ladder &ladder,
                          std::span<const ForwardJob> jobs,
                          const CertConfig &cert,
@@ -274,8 +402,11 @@ class EvalEngine
      * results on the same columns), with peak memory O(shard). Each
      * shard's AdaptiveBatch is handed to the sink before the shard
      * is unmapped.
+     *
+     * Legacy wrapper: builds the PValue x ShardStream x Adaptive (or
+     * ScreenedAdaptive) plan and delegates to run().
      */
-    StreamStats
+    PSTAT_LEGACY_API StreamStats
     pvalueAdaptiveStream(const Ladder &ladder, io::ShardStream &shards,
                          const AdaptiveShardSink &sink,
                          const CertConfig &cert,
@@ -288,15 +419,23 @@ class EvalEngine
      * record is an observation sequence of the given (borrowed)
      * model, evaluated over the pool. Results are bit-identical to
      * forwardBatch on the same sequences.
+     *
+     * Legacy wrapper: builds the Forward x ShardStream x Fixed plan
+     * (binding the model, stream, and sink) and delegates to run().
      */
-    StreamStats
+    PSTAT_LEGACY_API StreamStats
     forwardStream(const FormatOps &format, const hmm::Model &model,
                   io::ShardStream &shards,
                   const ShardResultSink &sink,
                   Dataflow dataflow = Dataflow::Accelerator);
 
-    /** Forward likelihood of every job, in job order. */
-    std::vector<EvalResult>
+    /**
+     * Forward likelihood of every job, in job order.
+     *
+     * Legacy wrapper: builds the Forward x Memory x Fixed plan and
+     * delegates to run().
+     */
+    PSTAT_LEGACY_API std::vector<EvalResult>
     forwardBatch(const FormatOps &format,
                  std::span<const ForwardJob> jobs,
                  Dataflow dataflow = Dataflow::Accelerator);
@@ -305,8 +444,13 @@ class EvalEngine
     std::vector<BigFloat>
     forwardOracleBatch(std::span<const ForwardJob> jobs);
 
-    /** Backward likelihood of every job, in job order. */
-    std::vector<EvalResult>
+    /**
+     * Backward likelihood of every job, in job order.
+     *
+     * Legacy wrapper: builds the Backward x Memory x Fixed plan and
+     * delegates to run().
+     */
+    PSTAT_LEGACY_API std::vector<EvalResult>
     backwardBatch(const FormatOps &format,
                   std::span<const ForwardJob> jobs,
                   Dataflow dataflow = Dataflow::Accelerator);
@@ -320,8 +464,11 @@ class EvalEngine
      * result's gamma is the flattened T x H matrix of the job;
      * results are bit-identical to calling format.hmmPosterior
      * serially per job.
+     *
+     * Legacy wrapper: builds the Posterior x Memory x Fixed plan and
+     * delegates to run().
      */
-    std::vector<PosteriorResult>
+    PSTAT_LEGACY_API std::vector<PosteriorResult>
     posteriorBatch(const FormatOps &format,
                    std::span<const ForwardJob> jobs,
                    Dataflow dataflow = Dataflow::Accelerator,
@@ -335,8 +482,13 @@ class EvalEngine
     std::vector<std::vector<BigFloat>>
     posteriorOracleBatch(std::span<const ForwardJob> jobs);
 
-    /** Viterbi decodes of every job, in job order. */
-    std::vector<ViterbiResult>
+    /**
+     * Viterbi decodes of every job, in job order.
+     *
+     * Legacy wrapper: builds the Viterbi x Memory x Fixed plan and
+     * delegates to run().
+     */
+    PSTAT_LEGACY_API std::vector<ViterbiResult>
     viterbiBatch(const FormatOps &format,
                  std::span<const ForwardJob> jobs);
 
@@ -345,6 +497,57 @@ class EvalEngine
     viterbiOracleBatch(std::span<const ForwardJob> jobs);
 
   private:
+    /**
+     * @name Kernel stages of run()
+     * The pre-plan entry-point bodies, now the private stages the
+     * run() dispatch composes. Each is exactly the old public body,
+     * so every wrapper is bit-identical to its pre-refactor self.
+     */
+    ///@{
+    std::vector<EvalResult>
+    pvalueBatchImpl(const FormatOps &format,
+                    std::span<const pbd::Column> columns,
+                    SumPolicy sum);
+    StreamStats pvalueStreamImpl(const FormatOps &format,
+                                 io::ShardStream &shards,
+                                 const ShardResultSink &sink,
+                                 SumPolicy sum);
+    StreamStats
+    pvalueScreenedStreamImpl(const FormatOps &format,
+                             io::ShardStream &shards,
+                             const ScreenedShardSink &sink,
+                             const pbd::ScreenConfig &config,
+                             SumPolicy sum);
+    StreamStats pvalueAdaptiveStreamImpl(
+        const Ladder &ladder, io::ShardStream &shards,
+        const AdaptiveShardSink &sink, const CertConfig &cert,
+        const std::optional<pbd::ScreenConfig> &screen, SumPolicy sum);
+    AdaptiveBatch
+    forwardAdaptiveBatchImpl(const Ladder &ladder,
+                             std::span<const ForwardJob> jobs,
+                             const CertConfig &cert, Dataflow dataflow);
+    StreamStats forwardStreamImpl(const FormatOps &format,
+                                  const hmm::Model &model,
+                                  io::ShardStream &shards,
+                                  const ShardResultSink &sink,
+                                  Dataflow dataflow);
+    std::vector<EvalResult>
+    forwardBatchImpl(const FormatOps &format,
+                     std::span<const ForwardJob> jobs,
+                     Dataflow dataflow);
+    std::vector<EvalResult>
+    backwardBatchImpl(const FormatOps &format,
+                      std::span<const ForwardJob> jobs,
+                      Dataflow dataflow);
+    std::vector<PosteriorResult>
+    posteriorBatchImpl(const FormatOps &format,
+                       std::span<const ForwardJob> jobs,
+                       Dataflow dataflow, bool renormalize);
+    std::vector<ViterbiResult>
+    viterbiBatchImpl(const FormatOps &format,
+                     std::span<const ForwardJob> jobs);
+    ///@}
+
     /**
      * The one screened two-stage pipeline (estimate everywhere,
      * exact DP inside the guard band), over any column accessor —
@@ -467,6 +670,31 @@ class AccuracyTally
 
     /** Accumulated per-tier escalation tallies (see recordTiers). */
     const std::vector<TierStats> &tierStats() const { return tiers_; }
+
+    /**
+     * @name Legacy entry-point diagnostics
+     * Migration accounting of the PSTAT_LEGACY_API wrappers. Every
+     * legacy EvalEngine call bumps a process-wide counter; setting
+     * the PSTAT_WARN_LEGACY_API environment knob additionally prints
+     * one stderr diagnostic per distinct entry point, so a caller
+     * can be migrated to EvalEngine::run measurably — drive the
+     * workload, read the counter (or the warnings), repeat until
+     * zero. The counter lives with the rest of the accuracy/usage
+     * bookkeeping rather than inside the engine so that plain plan
+     * executions never touch it.
+     */
+    ///@{
+    /** Legacy wrapper calls since process start (or the last reset). */
+    static uint64_t legacyApiCalls();
+    /** Reset the legacy-call counter (tests). */
+    static void resetLegacyApiCalls();
+    /**
+     * Record one legacy wrapper call (called by the PSTAT_LEGACY_API
+     * wrappers; @p entry_point is the method name, warned once per
+     * distinct name under PSTAT_WARN_LEGACY_API).
+     */
+    static void noteLegacyApiCall(const char *entry_point);
+    ///@}
 
   private:
     std::string label_;

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * bench_util.hh JSON writer tests: every emitted record feeds the CI
+ * bench-regression guard (tools/bench_compare.py, strict
+ * json.loads), so string escaping and number tokens must produce
+ * valid RFC 8259 output for any input — including labels carrying
+ * quotes, backslashes (Windows-style paths), and control characters.
+ */
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hh"
+
+namespace
+{
+
+using pstat::bench::Json;
+
+TEST(BenchJson, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(Json().add("k", "plain").str(), "{\"k\":\"plain\"}");
+    EXPECT_EQ(Json().add("k", "say \"hi\"").str(),
+              "{\"k\":\"say \\\"hi\\\"\"}");
+    EXPECT_EQ(Json().add("k", "a\\b").str(), "{\"k\":\"a\\\\b\"}");
+    EXPECT_EQ(Json().add("k", "line1\nline2\t.").str(),
+              "{\"k\":\"line1\\nline2\\t.\"}");
+    EXPECT_EQ(Json().add("k", std::string("\r\b\f")).str(),
+              "{\"k\":\"\\r\\b\\f\"}");
+    // Remaining C0 controls take the \u00XX form.
+    EXPECT_EQ(Json().add("k", std::string("\x01\x1f")).str(),
+              "{\"k\":\"\\u0001\\u001f\"}");
+    // Keys run through the same escaper as values.
+    EXPECT_EQ(Json().add("a\"b", 1).str(), "{\"a\\\"b\":1}");
+    // High bytes (UTF-8 continuation range) pass through untouched.
+    EXPECT_EQ(Json().add("k", "caf\xc3\xa9").str(),
+              "{\"k\":\"caf\xc3\xa9\"}");
+}
+
+TEST(BenchJson, NumbersAndNesting)
+{
+    EXPECT_EQ(Json().add("i", 3).add("z", size_t{7}).str(),
+              "{\"i\":3,\"z\":7}");
+    EXPECT_EQ(Json().add("b", true).add("c", false).str(),
+              "{\"b\":true,\"c\":false}");
+    // Non-finite doubles become null — JSON has no NaN/inf.
+    EXPECT_EQ(Json().add("n", std::nan("")).str(), "{\"n\":null}");
+    EXPECT_EQ(
+        Json().add("n", std::numeric_limits<double>::infinity()).str(),
+        "{\"n\":null}");
+    // %.17g round-trips doubles exactly.
+    EXPECT_EQ(Json().add("d", 0.1).str(),
+              "{\"d\":0.10000000000000001}");
+
+    const std::string nested =
+        Json()
+            .add("o", Json().add("x", 1))
+            .add("v", std::vector<double>{1.0, 2.5})
+            .add("a", std::vector<Json>{Json().add("y", 2)})
+            .str();
+    EXPECT_EQ(nested,
+              "{\"o\":{\"x\":1},\"v\":[1,2.5],\"a\":[{\"y\":2}]}");
+}
+
+} // namespace

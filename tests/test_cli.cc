@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/pstat_cli.hh"
+#include "engine/plan.hh"
 #include "io/shard.hh"
 #include "pbd/dataset.hh"
 
@@ -228,6 +229,147 @@ TEST(Cli, BadGuardBitsEnvWarnsAndKeepsDefault)
     EXPECT_NE(err.find("PSTAT_GUARD_BITS"), std::string::npos);
     // The default band (64 bits) survives the bad override.
     EXPECT_NE(out.find("guard 64 bits"), std::string::npos);
+}
+
+TEST(Cli, InfoPrintsColumnPayloadStats)
+{
+    const std::string path = makeShard("cli_info_cols.shard", 12);
+    std::string out;
+    EXPECT_EQ(runCli({"info", path.c_str()}, &out), 0);
+    EXPECT_NE(out.find("CRC ok"), std::string::npos);
+    EXPECT_NE(out.find("columns: 12 records, K "), std::string::npos);
+    EXPECT_NE(out.find(", coverage "), std::string::npos);
+}
+
+TEST(Cli, InfoPrintsSequencePayloadStats)
+{
+    const std::string path =
+        ::testing::TempDir() + "cli_info_seqs.shard";
+    {
+        io::ShardWriter writer(path, io::ShardPayload::Sequences);
+        const std::vector<int> a{0, 1, 2, 3};
+        const std::vector<int> b{1, 0};
+        writer.addSequence(a);
+        writer.addSequence(b);
+        writer.close();
+    }
+    std::string out;
+    EXPECT_EQ(runCli({"info", path.c_str()}, &out), 0);
+    EXPECT_NE(out.find("sequences: 2 records, T 2..4, 6 "
+                       "observations"),
+              std::string::npos);
+}
+
+TEST(Cli, PlanDumpWritesADecodablePlanWithoutRunning)
+{
+    const std::string shard = makeShard("cli_plandump.shard", 20);
+    const std::string plan_path =
+        ::testing::TempDir() + "cli_dump.plan";
+    std::string out;
+    EXPECT_EQ(runCli({"eval", "--format", "log", "--queue", "3",
+                      "--plan-dump", plan_path.c_str(),
+                      shard.c_str()},
+                     &out),
+              0);
+    EXPECT_NE(out.find("plan: pvalue over shard-stream"),
+              std::string::npos);
+    // Dumping never evaluates: no per-shard result lines.
+    EXPECT_EQ(out.find("total:"), std::string::npos);
+
+    const auto plan = engine::readPlanFile(plan_path);
+    EXPECT_EQ(plan.kernel, engine::PlanKernel::PValue);
+    EXPECT_EQ(plan.source, engine::PlanSource::ShardStream);
+    EXPECT_EQ(plan.policy, engine::PlanPolicy::Fixed);
+    EXPECT_EQ(plan.format_id, "log");
+    EXPECT_EQ(plan.queue_capacity, 3u);
+    ASSERT_EQ(plan.shard_paths.size(), 1u);
+    EXPECT_EQ(plan.shard_paths[0], shard);
+}
+
+TEST(Cli, PlanFileReplayMatchesDirectFlags)
+{
+    const std::string shard = makeShard("cli_replay.shard");
+    const std::string plan_path =
+        ::testing::TempDir() + "cli_replay.plan";
+    std::string direct;
+    EXPECT_EQ(runCli({"eval", "--format", "binary64", shard.c_str()},
+                     &direct),
+              0);
+    EXPECT_EQ(runCli({"eval", "--format", "binary64", "--plan-dump",
+                      plan_path.c_str(), shard.c_str()}),
+              0);
+    std::string replayed;
+    EXPECT_EQ(runCli({"eval", "--plan-file", plan_path.c_str()},
+                     &replayed),
+              0);
+    EXPECT_EQ(replayed, direct); // same shards, same totals line
+
+    // Positional shards override the plan's own paths.
+    const std::string other = makeShard("cli_replay_b.shard", 30);
+    std::string overridden;
+    EXPECT_EQ(runCli({"eval", "--plan-file", plan_path.c_str(),
+                      other.c_str()},
+                     &overridden),
+              0);
+    EXPECT_NE(overridden.find(other), std::string::npos);
+    EXPECT_EQ(overridden.find(shard), std::string::npos);
+}
+
+TEST(Cli, PlanFileRejectsConflictingFlagsAndBadFiles)
+{
+    const std::string plan_path =
+        ::testing::TempDir() + "cli_conflict.plan";
+    std::string err;
+    EXPECT_EQ(runCli({"eval", "--plan-file", plan_path.c_str(),
+                      "--format", "log"},
+                     nullptr, &err),
+              2);
+    EXPECT_NE(err.find("--plan-file"), std::string::npos);
+
+    // Missing and corrupt plan files are data errors, not crashes.
+    err.clear();
+    EXPECT_EQ(runCli({"eval", "--plan-file",
+                      (::testing::TempDir() + "nope.plan").c_str()},
+                     nullptr, &err),
+              1);
+    EXPECT_FALSE(err.empty());
+
+    const std::string garbage_path =
+        ::testing::TempDir() + "cli_garbage.plan";
+    {
+        std::FILE *f = std::fopen(garbage_path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("not a plan", f);
+        std::fclose(f);
+    }
+    err.clear();
+    EXPECT_EQ(runCli({"eval", "--plan-file", garbage_path.c_str()},
+                     nullptr, &err),
+              1);
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Cli, ScreenPlanDumpRoundTripsThroughEval)
+{
+    const std::string shard = makeShard("cli_screen_plan.shard");
+    const std::string plan_path =
+        ::testing::TempDir() + "cli_screen.plan";
+    std::string direct;
+    EXPECT_EQ(runCli({"screen", "--format", "log", "--guard-bits",
+                      "32", shard.c_str()},
+                     &direct),
+              0);
+    EXPECT_EQ(runCli({"screen", "--format", "log", "--guard-bits",
+                      "32", "--plan-dump", plan_path.c_str(),
+                      shard.c_str()}),
+              0);
+    // A dumped screen plan replays through the one plan runner.
+    std::string replayed;
+    EXPECT_EQ(runCli({"eval", "--plan-file", plan_path.c_str()},
+                     &replayed),
+              0);
+    EXPECT_EQ(replayed, direct);
+    EXPECT_NE(replayed.find("guard 32 bits"), std::string::npos);
 }
 
 TEST(Cli, AdaptiveEvalRunsAndReportsTiers)

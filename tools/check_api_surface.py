@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""API-surface guard: keep EvalEngine's evaluation surface closed.
+
+The evaluation pipeline converged on one entry point —
+EvalEngine::run(const EvalPlan&) — with the historical *Batch /
+*Stream methods frozen as thin documented wrappers (see
+docs/ARCHITECTURE.md, "Evaluation plans"). The easy way to erode
+that is to add "just one more" ad-hoc public batch method instead of
+extending EvalPlan. This script fails CI when a public *Batch or
+*Stream declaration appears in src/engine/eval_engine.hh outside the
+frozen wrapper allowlist.
+
+Parsing is deliberately dumb (regex over access-specifier sections,
+comments stripped), which is exactly right for a tripwire: it needs
+no compiler, runs in milliseconds, and a false positive is a
+one-line allowlist edit away — with a reviewer looking at it, which
+is the point.
+
+Usage:
+  tools/check_api_surface.py [--header PATH]
+  tools/check_api_surface.py --self-test
+"""
+
+import argparse
+import re
+import sys
+
+# The frozen public surface. Three groups, all wrappers or
+# measurement helpers around run():
+#   - legacy evaluation wrappers (build a plan, delegate to run)
+#   - oracle batches (the BigFloat measurement surface)
+#   - grainForBatch (a scheduling introspection knob, not evaluation)
+# Growing this list is an API-design decision: new evaluation shapes
+# belong in EvalPlan, not in new named entry points.
+ALLOWED = frozenset({
+    "pvalueBatch",
+    "pvalueOracleBatch",
+    "pvalueScreenedBatch",
+    "pvalueStream",
+    "pvalueScreenedStream",
+    "pvalueAdaptiveBatch",
+    "pvalueAdaptiveStream",
+    "forwardAdaptiveBatch",
+    "forwardBatch",
+    "forwardOracleBatch",
+    "forwardStream",
+    "backwardBatch",
+    "backwardOracleBatch",
+    "posteriorBatch",
+    "posteriorOracleBatch",
+    "viterbiBatch",
+    "viterbiOracleBatch",
+    "grainForBatch",
+})
+
+DECL_RE = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*(?:Batch|Stream))\s*\(")
+ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:")
+
+
+def strip_comments(text):
+    """Remove // and /* */ comments (naive, no string literals in
+    this header's declarations to trip over)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def public_decls(text):
+    """(line, name) of every *Batch/*Stream declared in a public
+    section of a class body (file scope counts as public too)."""
+    decls = []
+    access = "public"
+    for lineno, line in enumerate(strip_comments(text).splitlines(),
+                                  start=1):
+        m = ACCESS_RE.match(line)
+        if m:
+            access = m.group(1)
+            continue
+        if access != "public":
+            continue
+        for m in DECL_RE.finditer(line):
+            decls.append((lineno, m.group(1)))
+    return decls
+
+
+def check(text):
+    """Offending (line, name) pairs — public decls off the allowlist."""
+    return [(line, name) for line, name in public_decls(text)
+            if name not in ALLOWED]
+
+
+def self_test():
+    header = """
+class EvalEngine
+{
+  public:
+    std::vector<EvalResult> pvalueBatch(const FormatOps &format);
+    StreamStats pvalueStream(const FormatOps &format);
+    size_t grainForBatch(size_t n) const;
+  private:
+    void pvalueBatchImpl(const FormatOps &format);
+    void runBatch(size_t n);
+};
+"""
+    assert check(header) == [], "allowlisted surface must pass"
+
+    # A new public entry point trips the guard...
+    added = header.replace(
+        "  private:",
+        "    std::vector<EvalResult> pvalueTurboBatch(int fast);\n"
+        "  private:")
+    bad = check(added)
+    assert [name for _, name in bad] == ["pvalueTurboBatch"], bad
+
+    # ...whether *Batch or *Stream flavored.
+    streamed = header.replace(
+        "  private:",
+        "    StreamStats posteriorStream(const FormatOps &format);\n"
+        "  private:")
+    assert [name for _, name in check(streamed)] == [
+        "posteriorStream"], check(streamed)
+
+    # Private helpers never trip it, comments never trip it.
+    commented = header.replace(
+        "  private:",
+        "    // sketch: pvalueMegaBatch(const FormatOps &format);\n"
+        "  private:")
+    assert check(commented) == [], check(commented)
+
+    # A second public section after private: is scanned again.
+    reopened = header + """
+class AccuracyTally
+{
+  public:
+    void turboTallyStream(int x);
+};
+"""
+    assert [name for _, name in check(reopened)] == [
+        "turboTallyStream"], check(reopened)
+
+    print("self-test ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail when eval_engine.hh grows a public "
+                    "*Batch/*Stream entry point off the allowlist")
+    parser.add_argument("--header",
+                        default="src/engine/eval_engine.hh")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+
+    with open(args.header, encoding="utf-8") as f:
+        text = f.read()
+    offenders = check(text)
+    if offenders:
+        for line, name in offenders:
+            print(f"FAIL {args.header}:{line}: new public entry "
+                  f"point {name}() — extend EvalPlan and "
+                  f"EvalEngine::run instead (or, if this is a "
+                  f"deliberate API decision, add it to ALLOWED in "
+                  f"tools/check_api_surface.py)")
+        return 1
+    print(f"ok   {args.header}: public evaluation surface is "
+          f"frozen ({len(ALLOWED)} allowlisted entry points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
