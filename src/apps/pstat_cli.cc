@@ -50,6 +50,7 @@
 #include "engine/eval_engine.hh"
 #include "engine/format_registry.hh"
 #include "engine/plan.hh"
+#include "engine/result_sink.hh"
 #include "io/shard.hh"
 #include "io/shard_stream.hh"
 #include "pbd/dataset.hh"
@@ -71,12 +72,14 @@ usage(std::FILE *out)
         "  pstat gen    --out DIR [--shards N=4] [--columns N=1000]\n"
         "               [--seed S=1] [--prefix NAME=cols]\n"
         "  pstat info   SHARD...\n"
-        "  pstat eval   --format ID [--queue N=2] SHARD...\n"
-        "  pstat eval   --adaptive [--ladder SPEC] [--tol BITS]\n"
-        "               [--threshold BITS=-200] [--queue N=2] SHARD...\n"
-        "  pstat eval   --plan-file FILE [SHARD...]\n"
-        "  pstat screen --format ID [--guard-bits B] [--queue N=2]\n"
+        "  pstat eval   --format ID [--queue N=2] [-o RESULTS.shard]\n"
         "               SHARD...\n"
+        "  pstat eval   --adaptive [--ladder SPEC] [--tol BITS]\n"
+        "               [--threshold BITS=-200] [--queue N=2]\n"
+        "               [-o RESULTS.shard] SHARD...\n"
+        "  pstat eval   --plan-file FILE [-o RESULTS.shard] [SHARD...]\n"
+        "  pstat screen --format ID [--guard-bits B] [--queue N=2]\n"
+        "               [-o RESULTS.shard] SHARD...\n"
         "\n"
         "gen writes Columns shards of the paper's LoFreq column\n"
         "profile (streaming: any size at O(column) memory); info\n"
@@ -92,12 +95,15 @@ usage(std::FILE *out)
         "(engine/plan.hh) executed by EvalEngine::run. --plan-dump\n"
         "FILE writes the encoded plan instead of running it;\n"
         "eval --plan-file FILE replays a dumped plan (positional\n"
-        "shards override the plan's own paths).\n"
+        "shards override the plan's own paths). -o/--out FILE\n"
+        "additionally persists every result as a Results-payload\n"
+        "shard (lossless values + flags; `pstat info` prints it,\n"
+        "io/shard.hh documents the record layout).\n"
         "\n"
         "environment: PSTAT_THREADS (engine lanes), PSTAT_COMPENSATED\n"
         "(summation policy), PSTAT_GUARD_BITS (screen default band),\n"
-        "PSTAT_LADDER (adaptive tiers), PSTAT_CERT_TOL (adaptive\n"
-        "default tolerance).\n");
+        "PSTAT_QUEUE_CAP (default --queue), PSTAT_LADDER (adaptive\n"
+        "tiers), PSTAT_CERT_TOL (adaptive default tolerance).\n");
     return out == stdout ? 0 : 2;
 }
 
@@ -115,7 +121,9 @@ parseArgs(int argc, const char *const *argv, int first,
 {
     Args out;
     for (int i = first; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        if (arg == "-o") // the one short alias: output shard
+            arg = "--out";
         if (arg.rfind("--", 0) != 0) {
             out.positional.push_back(arg);
             continue;
@@ -191,11 +199,29 @@ lookupFormat(const Args &args)
     return format;
 }
 
-/** The --queue flag as a plan queue capacity; nullopt = usage error. */
+/**
+ * The --queue flag as a plan queue capacity; nullopt = usage error.
+ * Without the flag, PSTAT_QUEUE_CAP overrides the default of 2 —
+ * strictly parsed like every knob in engine/env.hh: a malformed or
+ * non-positive value warns and keeps the default instead of silently
+ * turning into 0 (an unbounded pipeline) or garbage.
+ */
 std::optional<uint64_t>
 queueCapacity(const Args &args)
 {
-    const auto queue = optionLong(args, "queue", 2);
+    long fallback = 2;
+    if (const char *env = std::getenv("PSTAT_QUEUE_CAP")) {
+        const auto parsed = engine::parseLong(env);
+        if (parsed && *parsed > 0) {
+            fallback = *parsed;
+        } else {
+            std::fprintf(stderr,
+                         "pstat: ignoring invalid PSTAT_QUEUE_CAP "
+                         "\"%s\" (keeping %ld)\n",
+                         env, fallback);
+        }
+    }
+    const auto queue = optionLong(args, "queue", fallback);
     if (!queue)
         return std::nullopt;
     if (*queue <= 0) {
@@ -322,6 +348,59 @@ printSequenceStats(const io::ShardReader &reader)
                 reader.size(), t_min, t_max, observations);
 }
 
+/** Payload-specific stats lines of one Results shard. */
+void
+printResultStats(const io::ShardReader &reader)
+{
+    const uint32_t kernel = reader.resultKernel();
+    const char *kernel_name =
+        kernel >= 1 && kernel <= 5
+            ? engine::planKernelName(
+                  static_cast<engine::PlanKernel>(kernel))
+            : nullptr;
+    if (kernel_name != nullptr)
+        std::printf("  results: %zu records, kernel %s, format %s\n",
+                    reader.size(), kernel_name,
+                    reader.resultFormatId().c_str());
+    else
+        std::printf("  results: %zu records, kernel unknown(%u), "
+                    "format %s\n",
+                    reader.size(), kernel,
+                    reader.resultFormatId().c_str());
+    if (reader.size() == 0)
+        return;
+    size_t invalid = 0;
+    size_t underflows = 0;
+    size_t skipped = 0;
+    size_t certified = 0;
+    std::optional<double> min_log2;
+    std::optional<double> max_log2;
+    for (size_t i = 0; i < reader.size(); ++i) {
+        const io::ShardResultRecord record = reader.result(i);
+        if (record.flags & io::result_flag_invalid)
+            ++invalid;
+        if (record.flags & io::result_flag_underflow)
+            ++underflows;
+        if (record.flags & io::result_flag_skipped)
+            ++skipped;
+        if (record.flags & io::result_flag_certified)
+            ++certified;
+        if (record.flags &
+            (io::result_flag_zero | io::result_flag_nan))
+            continue;
+        const double log2 =
+            engine::decodeResultValue(record).value.log2Abs();
+        min_log2 = min_log2 ? std::min(*min_log2, log2) : log2;
+        max_log2 = max_log2 ? std::max(*max_log2, log2) : log2;
+    }
+    if (min_log2)
+        std::printf("  values: |v| in 2^%.4g .. 2^%.4g\n", *min_log2,
+                    *max_log2);
+    std::printf("  flags: %zu invalid, %zu underflows, %zu skipped, "
+                "%zu certified\n",
+                invalid, underflows, skipped, certified);
+}
+
 int
 runInfo(const Args &args)
 {
@@ -333,18 +412,27 @@ runInfo(const Args &args)
     for (const auto &path : args.positional) {
         try {
             const io::ShardReader reader(path);
-            const bool is_columns =
-                reader.payload() == io::ShardPayload::Columns;
+            const char *payload_name = "columns";
+            if (reader.payload() == io::ShardPayload::Sequences)
+                payload_name = "sequences";
+            else if (reader.payload() == io::ShardPayload::Results)
+                payload_name = "results";
             std::printf("%s: v%u %s, %zu records, %zu payload bytes "
                         "(%zu file), CRC ok\n",
-                        path.c_str(), reader.version(),
-                        is_columns ? "columns" : "sequences",
+                        path.c_str(), reader.version(), payload_name,
                         reader.size(), reader.payloadBytes(),
                         reader.fileBytes());
-            if (is_columns)
+            switch (reader.payload()) {
+            case io::ShardPayload::Columns:
                 printColumnStats(reader);
-            else
+                break;
+            case io::ShardPayload::Sequences:
                 printSequenceStats(reader);
+                break;
+            case io::ShardPayload::Results:
+                printResultStats(reader);
+                break;
+            }
         } catch (const io::ShardError &error) {
             std::fprintf(stderr, "pstat: %s\n", error.what());
             ++failures;
@@ -356,11 +444,60 @@ runInfo(const Args &args)
 // ----------------------------------------------------- plan execution
 
 /**
+ * The format label stamped into a result shard's meta block: the
+ * plan's format id, or a composite "adaptive:..." label naming the
+ * ladder tiers (results of an adaptive run mix tiers, so no single
+ * registry id is honest).
+ */
+std::string
+resultFormatLabel(const engine::EvalPlan &plan)
+{
+    if (plan.policy != engine::PlanPolicy::Adaptive &&
+        plan.policy != engine::PlanPolicy::ScreenedAdaptive)
+        return plan.format_id;
+    if (plan.ladder_ids.empty())
+        return "adaptive:default";
+    std::string label = "adaptive:";
+    for (size_t i = 0; i < plan.ladder_ids.size(); ++i) {
+        if (i > 0)
+            label += ",";
+        label += plan.ladder_ids[i];
+    }
+    return label;
+}
+
+/**
+ * The optional `-o` result-shard sink of one plan execution. When
+ * `out` is set, bind the returned sink into PlanInputs::result_sink;
+ * reportResultShard prints the summary line after the run.
+ */
+std::optional<engine::ShardFileSink>
+makeResultSink(const std::optional<std::string> &out,
+               const engine::EvalPlan &plan)
+{
+    if (!out)
+        return std::nullopt;
+    return std::make_optional<engine::ShardFileSink>(
+        *out, plan.kernel, resultFormatLabel(plan));
+}
+
+/** The "wrote ..." line after a run that persisted a result shard. */
+void
+reportResultShard(const std::optional<std::string> &out,
+                  const std::optional<engine::ShardFileSink> &sink)
+{
+    if (out && sink)
+        std::printf("wrote %s: %zu result records\n", out->c_str(),
+                    sink->written());
+}
+
+/**
  * Execute a Fixed pvalue shard-stream plan with the classic `eval`
  * reporting (per-shard call counts, LoFreq 2^-200 calls).
  */
 int
-executeFixedPlan(const engine::EvalPlan &plan)
+executeFixedPlan(const engine::EvalPlan &plan,
+                 const std::optional<std::string> &out)
 {
     engine::EvalEngine engine(plan.threads,
                               static_cast<size_t>(plan.grain));
@@ -385,6 +522,9 @@ executeFixedPlan(const engine::EvalPlan &plan)
         std::printf("%s: %zu columns, %zu calls\n",
                     shard.path().c_str(), shard.size(), shard_calls);
     };
+    auto result_sink = makeResultSink(out, plan);
+    if (result_sink)
+        inputs.result_sink = &*result_sink;
     try {
         const auto stats = engine.run(plan, inputs).stream;
         std::printf("total: %zu shards, %zu columns, %zu variant "
@@ -395,6 +535,7 @@ executeFixedPlan(const engine::EvalPlan &plan)
                     underflows, plan.format_id.c_str(),
                     engine.threadCount(), stats.peak_queue_depth,
                     stats.peak_mapped_bytes);
+        reportResultShard(out, result_sink);
     } catch (const io::ShardError &error) {
         std::fprintf(stderr, "pstat: %s\n", error.what());
         return 1;
@@ -408,7 +549,8 @@ executeFixedPlan(const engine::EvalPlan &plan)
  * per-tier escalation table).
  */
 int
-executeAdaptivePlan(const engine::EvalPlan &plan)
+executeAdaptivePlan(const engine::EvalPlan &plan,
+                    const std::optional<std::string> &out)
 {
     engine::EvalEngine engine(plan.threads,
                               static_cast<size_t>(plan.grain));
@@ -442,6 +584,9 @@ executeAdaptivePlan(const engine::EvalPlan &plan)
                     shard.path().c_str(), shard.size(),
                     batch.certified, batch.uncertified, shard_calls);
     };
+    auto result_sink = makeResultSink(out, plan);
+    if (result_sink)
+        inputs.result_sink = &*result_sink;
     try {
         const auto stats = engine.run(plan, inputs).stream;
         std::printf("total: %zu shards, %zu columns, %zu certified, "
@@ -459,6 +604,7 @@ executeAdaptivePlan(const engine::EvalPlan &plan)
                         tier.format_id.c_str(), tier.evaluated,
                         tier.certified, tier.bypassed, tier.wall_ms);
         }
+        reportResultShard(out, result_sink);
     } catch (const io::ShardError &error) {
         std::fprintf(stderr, "pstat: %s\n", error.what());
         return 1;
@@ -471,7 +617,8 @@ executeAdaptivePlan(const engine::EvalPlan &plan)
  * `screen` reporting (skip fractions, guard-band hits).
  */
 int
-executeScreenedPlan(const engine::EvalPlan &plan)
+executeScreenedPlan(const engine::EvalPlan &plan,
+                    const std::optional<std::string> &out)
 {
     engine::EvalEngine engine(plan.threads,
                               static_cast<size_t>(plan.grain));
@@ -491,6 +638,9 @@ executeScreenedPlan(const engine::EvalPlan &plan)
                         batch.stats.skipped, batch.stats.evaluated,
                         batch.stats.guard_band_hits);
         };
+    auto result_sink = makeResultSink(out, plan);
+    if (result_sink)
+        inputs.result_sink = &*result_sink;
     try {
         const auto stats = engine.run(plan, inputs).stream;
         const double skip_frac =
@@ -506,6 +656,7 @@ executeScreenedPlan(const engine::EvalPlan &plan)
                     totals.guard_band_hits,
                     plan.screen.guard_band_log2,
                     plan.format_id.c_str(), engine.threadCount());
+        reportResultShard(out, result_sink);
     } catch (const io::ShardError &error) {
         std::fprintf(stderr, "pstat: %s\n", error.what());
         return 1;
@@ -520,7 +671,8 @@ executeScreenedPlan(const engine::EvalPlan &plan)
  * once per process, so this must precede the first kernel call.
  */
 int
-executePlan(const engine::EvalPlan &plan)
+executePlan(const engine::EvalPlan &plan,
+            const std::optional<std::string> &out = std::nullopt)
 {
     if (plan.kernel != engine::PlanKernel::PValue ||
         plan.source != engine::PlanSource::ShardStream) {
@@ -534,15 +686,34 @@ executePlan(const engine::EvalPlan &plan)
         std::fprintf(stderr, "pstat: eval needs shard files\n");
         return 2;
     }
+    // Payload tags are checked up front so a wrong input — feeding
+    // an `eval -o` *output* shard (or a sequences shard) back into
+    // a p-value plan, a replayed --plan-file pointed at the wrong
+    // dataset — is a usage error (exit 2) before any work starts,
+    // not a mid-stream evaluation failure. Unreadable files pass
+    // here: the stream opens them and diagnoses properly.
+    for (const auto &path : plan.shard_paths) {
+        const auto payload = io::peekShardPayload(path);
+        if (payload && *payload != io::ShardPayload::Columns) {
+            std::fprintf(stderr,
+                         "pstat: %s holds %s records, not the "
+                         "columns this plan evaluates\n",
+                         path.c_str(),
+                         *payload == io::ShardPayload::Results
+                             ? "result"
+                             : "sequence");
+            return 2;
+        }
+    }
     if (!plan.simd.empty())
         ::setenv("PSTAT_SIMD", plan.simd.c_str(), 1);
     switch (plan.policy) {
     case engine::PlanPolicy::Fixed:
-        return executeFixedPlan(plan);
+        return executeFixedPlan(plan, out);
     case engine::PlanPolicy::Screened:
-        return executeScreenedPlan(plan);
+        return executeScreenedPlan(plan, out);
     default:
-        return executeAdaptivePlan(plan);
+        return executeAdaptivePlan(plan, out);
     }
 }
 
@@ -672,7 +843,10 @@ runEval(const Args &args)
     // loaded plan, so the combination is rejected.
     if (const auto plan_path = option(args, "plan-file")) {
         for (const auto &[name, value] : args.options) {
-            if (name != "plan-file" && name != "plan-dump") {
+            // --out is a runtime binding (where results land), not
+            // plan configuration, so it composes with a replay.
+            if (name != "plan-file" && name != "plan-dump" &&
+                name != "out") {
                 std::fprintf(stderr,
                              "pstat: --%s conflicts with "
                              "--plan-file (the plan already "
@@ -692,7 +866,7 @@ runEval(const Args &args)
             plan.shard_paths = args.positional;
         if (const auto dumped = maybeDumpPlan(args, plan))
             return *dumped;
-        return executePlan(plan);
+        return executePlan(plan, option(args, "out"));
     }
 
     const auto plan = option(args, "adaptive")
@@ -702,7 +876,7 @@ runEval(const Args &args)
         return 2;
     if (const auto dumped = maybeDumpPlan(args, *plan))
         return *dumped;
-    return executePlan(*plan);
+    return executePlan(*plan, option(args, "out"));
 }
 
 // ------------------------------------------------------------- screen
@@ -769,7 +943,7 @@ runScreen(const Args &args)
         std::fprintf(stderr, "pstat: screen needs shard files\n");
         return 2;
     }
-    return executePlan(*plan);
+    return executePlan(*plan, option(args, "out"));
 }
 
 } // namespace
@@ -794,10 +968,10 @@ pstatMain(int argc, const char *const *argv)
         known = {};
     else if (command == "eval") {
         known = {"format", "queue", "ladder", "tol", "threshold",
-                 "plan-dump", "plan-file"};
+                 "plan-dump", "plan-file", "out"};
         flags = {"adaptive"};
     } else if (command == "screen")
-        known = {"format", "queue", "guard-bits", "plan-dump"};
+        known = {"format", "queue", "guard-bits", "plan-dump", "out"};
     else {
         std::fprintf(stderr, "pstat: unknown command \"%s\"\n",
                      command.c_str());

@@ -714,28 +714,6 @@ EvalEngine::adaptiveEval(
     return out;
 }
 
-StreamStats
-EvalEngine::pvalueAdaptiveStreamImpl(
-    const Ladder &ladder, io::ShardStream &shards,
-    const AdaptiveShardSink &sink, const CertConfig &cert,
-    const std::optional<pbd::ScreenConfig> &screen, SumPolicy sum)
-{
-    StreamStats stats;
-    while (auto shard = shards.next()) {
-        const AdaptiveBatch batch = adaptiveEval(
-            ladder, shard->size(),
-            [&](size_t i) { return shard->column(i); }, cert, screen,
-            sum);
-        sink(stats.shards, *shard, batch);
-        ++stats.shards;
-        stats.items += shard->size();
-        stats.peak_mapped_bytes =
-            std::max(stats.peak_mapped_bytes, shard->fileBytes());
-    }
-    stats.peak_queue_depth = shards.peakQueueDepth();
-    return stats;
-}
-
 AdaptiveBatch
 EvalEngine::forwardAdaptiveBatchImpl(const Ladder &ladder,
                                  std::span<const ForwardJob> jobs,

@@ -6,13 +6,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <utility>
 
 #include "core/accuracy.hh"
 #include "core/real_traits.hh"
-#include "engine/env.hh"
 #include "hmm/decode.hh"
 #include "hmm/forward.hh"
 #include "pbd/pbd.hh"
@@ -20,209 +20,12 @@
 namespace pstat::engine
 {
 
-namespace
-{
-
-/** Upper clamp for PSTAT_THREADS: far above any sane machine. */
-constexpr long max_thread_override = 1024;
-
-} // namespace
-
 EvalEngine::EvalEngine(unsigned num_threads, size_t grain)
+    : executor_(num_threads, grain)
 {
-    if (num_threads == 0) {
-        if (const char *env = std::getenv("PSTAT_THREADS")) {
-            // Full-string validation: "8x" or an out-of-range value
-            // is a configuration error worth a diagnostic, not a
-            // silently mangled lane count.
-            const auto parsed = parseLong(env);
-            if (!parsed || *parsed <= 0) {
-                std::fprintf(stderr,
-                             "pstat: ignoring invalid PSTAT_THREADS="
-                             "\"%s\" (want a positive integer)\n",
-                             env);
-            } else if (*parsed > max_thread_override) {
-                // The clamp gets the same observability as the
-                // garbage-input path: a silently reduced lane count
-                // is indistinguishable from a scheduler bug.
-                std::fprintf(stderr,
-                             "pstat: clamping PSTAT_THREADS=%ld to "
-                             "%ld lanes\n",
-                             *parsed, max_thread_override);
-                num_threads =
-                    static_cast<unsigned>(max_thread_override);
-            } else {
-                num_threads = static_cast<unsigned>(*parsed);
-            }
-        }
-    }
-    if (num_threads == 0) {
-        num_threads = std::thread::hardware_concurrency();
-        if (num_threads == 0)
-            num_threads = 1;
-    }
-    lanes_ = num_threads;
-
-    grain_override_ = grain;
-    if (grain_override_ == 0) {
-        if (const char *env = std::getenv("PSTAT_GRAIN")) {
-            const auto parsed = parseLong(env);
-            if (!parsed || *parsed <= 0) {
-                std::fprintf(stderr,
-                             "pstat: ignoring invalid PSTAT_GRAIN="
-                             "\"%s\" (want a positive integer)\n",
-                             env);
-            } else {
-                grain_override_ = static_cast<size_t>(*parsed);
-            }
-        }
-    }
-
-    workers_.reserve(num_threads - 1);
-    for (unsigned i = 1; i < num_threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
 }
 
-EvalEngine::~EvalEngine()
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        stop_ = true;
-    }
-    work_cv_.notify_all();
-    for (auto &worker : workers_)
-        worker.join();
-}
-
-/**
- * Claim the next chunk of [begin, end) indices under one mutex
- * acquisition; false when the batch is drained.
- */
-bool
-EvalEngine::claimChunk(size_t &begin, size_t &end)
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (next_ >= total_)
-        return false;
-    begin = next_;
-    const size_t room = total_ - begin;
-    end = begin + (batch_grain_ < room ? batch_grain_ : room);
-    next_ = end;
-    return true;
-}
-
-/**
- * One lane's share of the running batch: claim chunks until the
- * batch drains. An exception from fn records the first error and
- * drains the batch (the remaining items of the faulted chunk are
- * abandoned along with every unclaimed chunk, exactly like the old
- * per-index claiming abandoned the unclaimed indices).
- */
-void
-EvalEngine::drainChunks(const std::function<void(size_t, size_t)> &fn)
-{
-    size_t begin = 0;
-    size_t end = 0;
-    while (claimChunk(begin, end)) {
-        try {
-            fn(begin, end);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (!first_error_)
-                first_error_ = std::current_exception();
-            // Drain the batch so everyone can finish.
-            next_ = total_;
-        }
-    }
-}
-
-void
-EvalEngine::workerLoop()
-{
-    uint64_t seen_epoch = 0;
-    for (;;) {
-        const std::function<void(size_t, size_t)> *job = nullptr;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [&] {
-                return stop_ || (job_ != nullptr &&
-                                 epoch_ != seen_epoch);
-            });
-            if (stop_)
-                return;
-            seen_epoch = epoch_;
-            job = job_;
-            ++in_flight_;
-        }
-        drainChunks(*job);
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            --in_flight_;
-        }
-        done_cv_.notify_all();
-    }
-}
-
-void
-EvalEngine::parallelFor(size_t n,
-                        const std::function<void(size_t)> &fn)
-{
-    if (n == 0)
-        return;
-    // Small batches (or a 1-lane engine) skip the pool entirely.
-    if (n == 1 || lanes_ == 1) {
-        for (size_t i = 0; i < n; ++i)
-            fn(i);
-        return;
-    }
-    const std::function<void(size_t, size_t)> chunk_fn =
-        [&fn](size_t begin, size_t end) {
-            for (size_t i = begin; i < end; ++i)
-                fn(i);
-        };
-    runBatch(n, chunk_fn);
-}
-
-void
-EvalEngine::parallelForChunks(
-    size_t n, const std::function<void(size_t, size_t)> &fn)
-{
-    if (n == 0)
-        return;
-    // The serial fast path hands the whole range over as one chunk —
-    // the widest possible span for the SoA batch kernels.
-    if (n == 1 || lanes_ == 1) {
-        fn(0, n);
-        return;
-    }
-    runBatch(n, fn);
-}
-
-void
-EvalEngine::runBatch(size_t n,
-                     const std::function<void(size_t, size_t)> &fn)
-{
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        job_ = &fn;
-        next_ = 0;
-        total_ = n;
-        batch_grain_ = grainForBatch(n);
-        first_error_ = nullptr;
-        ++epoch_;
-    }
-    work_cv_.notify_all();
-
-    // The calling thread is a lane too.
-    drainChunks(fn);
-
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return in_flight_ == 0; });
-    job_ = nullptr;
-    if (first_error_)
-        std::rethrow_exception(
-            std::exchange(first_error_, nullptr));
-}
+EvalEngine::~EvalEngine() = default;
 
 namespace
 {
@@ -259,73 +62,6 @@ ladderIds(const Ladder &ladder)
     for (const FormatOps *tier : ladder.tiers)
         ids.push_back(tier->id());
     return ids;
-}
-
-/** Fold one shard's screened batch into the sink-less accumulator. */
-void
-mergeScreened(ScreenedPValueBatch &total,
-              const ScreenedPValueBatch &batch)
-{
-    total.config = batch.config;
-    total.results.insert(total.results.end(), batch.results.begin(),
-                         batch.results.end());
-    total.skipped.insert(total.skipped.end(), batch.skipped.begin(),
-                         batch.skipped.end());
-    total.estimates_log2.insert(total.estimates_log2.end(),
-                                batch.estimates_log2.begin(),
-                                batch.estimates_log2.end());
-    total.stats.columns += batch.stats.columns;
-    total.stats.skipped += batch.stats.skipped;
-    total.stats.evaluated += batch.stats.evaluated;
-    total.stats.guard_band_hits += batch.stats.guard_band_hits;
-}
-
-/** Fold one shard's adaptive batch into the sink-less accumulator
- *  (tier tallies merged by format_id in first-seen order, exactly
- *  like AccuracyTally::recordTiers). */
-void
-mergeAdaptive(AdaptiveBatch &total, const AdaptiveBatch &batch)
-{
-    total.cert = batch.cert;
-    total.results.insert(total.results.end(), batch.results.begin(),
-                         batch.results.end());
-    total.skipped.insert(total.skipped.end(), batch.skipped.begin(),
-                         batch.skipped.end());
-    total.estimates_log2.insert(total.estimates_log2.end(),
-                                batch.estimates_log2.begin(),
-                                batch.estimates_log2.end());
-    for (const TierStats &tier : batch.tiers) {
-        const auto it = std::find_if(
-            total.tiers.begin(), total.tiers.end(),
-            [&](const TierStats &t) {
-                return t.format_id == tier.format_id;
-            });
-        if (it == total.tiers.end()) {
-            total.tiers.push_back(tier);
-            continue;
-        }
-        it->evaluated += tier.evaluated;
-        it->certified += tier.certified;
-        it->bypassed += tier.bypassed;
-        it->wall_ms += tier.wall_ms;
-    }
-    total.certified += batch.certified;
-    total.uncertified += batch.uncertified;
-    total.screen_stats.columns += batch.screen_stats.columns;
-    total.screen_stats.skipped += batch.screen_stats.skipped;
-    total.screen_stats.evaluated += batch.screen_stats.evaluated;
-    total.screen_stats.guard_band_hits +=
-        batch.screen_stats.guard_band_hits;
-}
-
-[[noreturn]] void
-unsupportedCombination(const EvalPlan &plan)
-{
-    throw std::invalid_argument(
-        std::string("plan: unsupported combination ") +
-        planKernelName(plan.kernel) + " x " +
-        planSourceName(plan.source) + " x " +
-        planPolicyName(plan.policy));
 }
 
 } // namespace
@@ -365,125 +101,122 @@ EvalEngine::run(const EvalPlan &plan, const PlanInputs &inputs)
         screen = plan.screen;
 
     PlanRun out;
+
+    // Sink resolution: accumulation into the PlanRun is the base
+    // route; a streamed plan with legacy per-shard callbacks routes
+    // through the callback adapter (unclaimed channels still fall
+    // back to accumulation); a bound inputs.result_sink is teed into
+    // every delivery on top of either.
+    AccumulateSink accumulate(out);
+    std::optional<CallbackSink> callbacks;
+    ResultSink *primary = &accumulate;
+    if (plan.source == PlanSource::ShardStream &&
+        (inputs.sink || inputs.screened_sink || inputs.adaptive_sink)) {
+        callbacks.emplace(inputs.sink, inputs.screened_sink,
+                          inputs.adaptive_sink, accumulate);
+        primary = &*callbacks;
+    }
+    std::optional<TeeSink> tee;
+    ResultSink *sink = primary;
+    if (inputs.result_sink != nullptr) {
+        tee.emplace(
+            std::vector<ResultSink *>{primary, inputs.result_sink});
+        sink = &*tee;
+    }
+
+    // Source resolution: memory spans become a single WorkBlock; a
+    // shard-stream plan binds the caller's open stream or opens one
+    // from the plan's own paths, then yields one block per shard.
+    std::optional<io::ShardStream> owned_stream;
+    std::unique_ptr<JobSource> source;
     if (plan.source == PlanSource::Memory) {
+        if (plan.kernel == PlanKernel::PValue)
+            source =
+                std::make_unique<MemoryColumnSource>(inputs.columns);
+        else
+            source = std::make_unique<MemoryJobSource>(inputs.jobs);
+    } else {
+        io::ShardStream *stream = inputs.stream;
+        if (stream == nullptr) {
+            if (plan.shard_paths.empty())
+                throw std::invalid_argument(
+                    "plan: shard-stream source has no shard paths and "
+                    "no bound stream");
+            io::ShardStreamConfig config;
+            config.queue_capacity =
+                static_cast<size_t>(plan.queue_capacity);
+            owned_stream.emplace(plan.shard_paths, config);
+            stream = &*owned_stream;
+        }
+        if (plan.kernel == PlanKernel::Forward) {
+            if (inputs.model == nullptr)
+                throw std::invalid_argument(
+                    "plan: forward shard-stream needs a bound model");
+            source = std::make_unique<ShardSource>(
+                *stream, io::ShardPayload::Sequences, inputs.model);
+        } else {
+            source = std::make_unique<ShardSource>(
+                *stream, io::ShardPayload::Columns);
+        }
+    }
+
+    // Drive: pull blocks off the source, run each through its kernel
+    // x policy stage over the executor, hand the results to the
+    // sink. Block order is source order, so accumulation is
+    // deterministic.
+    while (auto block = source->next()) {
         switch (plan.kernel) {
-        case PlanKernel::PValue: {
-            const std::span<const pbd::Column> columns = inputs.columns;
+        case PlanKernel::PValue:
             if (plan.policy == PlanPolicy::Fixed) {
-                out.results = pvalueBatchImpl(*format, columns, sum);
+                const std::vector<EvalResult> results =
+                    pvalueFixedStage(*format, *block, sum);
+                sink->consumeResults(*block, results);
             } else if (plan.policy == PlanPolicy::Screened) {
-                out.screened = screenedEval(
-                    *format, columns.size(),
-                    [&](size_t i) { return columns[i].view(); },
-                    plan.screen, sum);
+                const ScreenedPValueBatch batch =
+                    screenedEval(*format, block->items, block->column,
+                                 plan.screen, sum);
+                sink->consumeScreened(*block, batch);
             } else {
-                out.adaptive = adaptiveEval(
-                    *ladder, columns.size(),
-                    [&](size_t i) { return columns[i].view(); },
-                    plan.cert, screen, sum);
+                const AdaptiveBatch batch =
+                    adaptiveEval(*ladder, block->items, block->column,
+                                 plan.cert, screen, sum);
+                sink->consumeAdaptive(*block, batch);
             }
             break;
-        }
         case PlanKernel::Forward:
-            if (plan.policy == PlanPolicy::Fixed)
-                out.results = forwardBatchImpl(*format, inputs.jobs,
-                                               plan.dataflow);
-            else
-                out.adaptive = forwardAdaptiveBatchImpl(
-                    *ladder, inputs.jobs, plan.cert, plan.dataflow);
+            if (plan.policy == PlanPolicy::Fixed) {
+                const std::vector<EvalResult> results =
+                    forwardFixedStage(*format, *block, plan.dataflow);
+                sink->consumeResults(*block, results);
+            } else {
+                const AdaptiveBatch batch = forwardAdaptiveBatchImpl(
+                    *ladder, block->jobs, plan.cert, plan.dataflow);
+                sink->consumeAdaptive(*block, batch);
+            }
             break;
-        case PlanKernel::Backward:
-            out.results = backwardBatchImpl(*format, inputs.jobs,
-                                            plan.dataflow);
-            break;
-        case PlanKernel::Posterior:
-            out.posteriors =
-                posteriorBatchImpl(*format, inputs.jobs,
-                                   plan.dataflow, plan.renormalize);
-            break;
-        case PlanKernel::Viterbi:
-            out.decodes = viterbiBatchImpl(*format, inputs.jobs);
+        case PlanKernel::Backward: {
+            const std::vector<EvalResult> results =
+                backwardBatchImpl(*format, block->jobs, plan.dataflow);
+            sink->consumeResults(*block, results);
             break;
         }
-        return out;
-    }
-
-    // ShardStream source: bind the caller's open stream, or open one
-    // from the plan's own paths.
-    io::ShardStream *stream = inputs.stream;
-    std::optional<io::ShardStream> owned_stream;
-    if (stream == nullptr) {
-        if (plan.shard_paths.empty())
-            throw std::invalid_argument(
-                "plan: shard-stream source has no shard paths and no "
-                "bound stream");
-        io::ShardStreamConfig config;
-        config.queue_capacity =
-            static_cast<size_t>(plan.queue_capacity);
-        owned_stream.emplace(plan.shard_paths, config);
-        stream = &*owned_stream;
-    }
-
-    switch (plan.kernel) {
-    case PlanKernel::PValue:
-        if (plan.policy == PlanPolicy::Fixed) {
-            const ShardResultSink sink =
-                inputs.sink
-                    ? inputs.sink
-                    : ShardResultSink(
-                          [&out](size_t, const io::ShardReader &,
-                                 std::span<const EvalResult> results) {
-                              out.results.insert(out.results.end(),
-                                                 results.begin(),
-                                                 results.end());
-                          });
-            out.stream = pvalueStreamImpl(*format, *stream, sink, sum);
-        } else if (plan.policy == PlanPolicy::Screened) {
-            const ScreenedShardSink sink =
-                inputs.screened_sink
-                    ? inputs.screened_sink
-                    : ScreenedShardSink(
-                          [&out](size_t, const io::ShardReader &,
-                                 const ScreenedPValueBatch &batch) {
-                              mergeScreened(out.screened, batch);
-                          });
-            out.stream = pvalueScreenedStreamImpl(*format, *stream,
-                                                  sink, plan.screen,
-                                                  sum);
-        } else {
-            const AdaptiveShardSink sink =
-                inputs.adaptive_sink
-                    ? inputs.adaptive_sink
-                    : AdaptiveShardSink(
-                          [&out](size_t, const io::ShardReader &,
-                                 const AdaptiveBatch &batch) {
-                              mergeAdaptive(out.adaptive, batch);
-                          });
-            out.stream = pvalueAdaptiveStreamImpl(
-                *ladder, *stream, sink, plan.cert, screen, sum);
+        case PlanKernel::Posterior: {
+            const std::vector<PosteriorResult> posteriors =
+                posteriorBatchImpl(*format, block->jobs, plan.dataflow,
+                                   plan.renormalize);
+            sink->consumePosteriors(*block, posteriors);
+            break;
         }
-        break;
-    case PlanKernel::Forward: {
-        if (inputs.model == nullptr)
-            throw std::invalid_argument(
-                "plan: forward shard-stream needs a bound model");
-        const ShardResultSink sink =
-            inputs.sink
-                ? inputs.sink
-                : ShardResultSink(
-                      [&out](size_t, const io::ShardReader &,
-                             std::span<const EvalResult> results) {
-                          out.results.insert(out.results.end(),
-                                             results.begin(),
-                                             results.end());
-                      });
-        out.stream = forwardStreamImpl(*format, *inputs.model,
-                                       *stream, sink, plan.dataflow);
-        break;
+        case PlanKernel::Viterbi: {
+            const std::vector<ViterbiResult> decodes =
+                viterbiBatchImpl(*format, block->jobs);
+            sink->consumeDecodes(*block, decodes);
+            break;
+        }
+        }
     }
-    default:
-        unsupportedCombination(plan);
-    }
+    sink->finish();
+    out.stream = source->stats();
     return out;
 }
 
@@ -736,22 +469,34 @@ EvalEngine::viterbiBatch(const FormatOps &format,
 }
 
 std::vector<EvalResult>
-EvalEngine::pvalueBatchImpl(const FormatOps &format,
-                        std::span<const pbd::Column> columns,
-                        SumPolicy sum)
+EvalEngine::pvalueFixedStage(const FormatOps &format,
+                             const WorkBlock &block, SumPolicy sum)
 {
-    std::vector<EvalResult> out(columns.size());
+    std::vector<EvalResult> out(block.items);
     // Each lane hands its whole claimed chunk to the format's batch
     // entry, so the SIMD formats tile across the chunk's columns
     // instead of dispatching one at a time.
-    parallelForChunks(columns.size(), [&](size_t begin, size_t end) {
+    parallelForChunks(block.items, [&](size_t begin, size_t end) {
         std::vector<pbd::ColumnView> views;
         views.reserve(end - begin);
         for (size_t i = begin; i < end; ++i)
-            views.push_back(columns[i].view());
+            views.push_back(block.column(i));
         format.pbdPValueBatch(
             views, sum,
             std::span<EvalResult>(out).subspan(begin, end - begin));
+    });
+    return out;
+}
+
+std::vector<EvalResult>
+EvalEngine::forwardFixedStage(const FormatOps &format,
+                              const WorkBlock &block, Dataflow dataflow)
+{
+    std::vector<EvalResult> out(block.items);
+    parallelFor(block.items, [&](size_t i) {
+        const ForwardJob job =
+            block.job ? block.job(i) : block.jobs[i];
+        out[i] = format.hmmForward(*job.model, job.obs, dataflow);
     });
     return out;
 }
@@ -814,96 +559,6 @@ EvalEngine::screenedEval(
         format.pbdPValueBatch(views, sum, evaluated);
         for (size_t j = 0; j < survivors.size(); ++j)
             out.results[survivors[j]] = evaluated[j];
-    });
-    return out;
-}
-
-StreamStats
-EvalEngine::pvalueStreamImpl(const FormatOps &format,
-                         io::ShardStream &shards,
-                         const ShardResultSink &sink, SumPolicy sum)
-{
-    StreamStats stats;
-    std::vector<EvalResult> results;
-    while (auto shard = shards.next()) {
-        results.resize(shard->size());
-        parallelForChunks(shard->size(), [&](size_t begin,
-                                             size_t end) {
-            std::vector<pbd::ColumnView> views;
-            views.reserve(end - begin);
-            for (size_t i = begin; i < end; ++i)
-                views.push_back(shard->column(i));
-            format.pbdPValueBatch(
-                views, sum,
-                std::span<EvalResult>(results).subspan(begin,
-                                                       end - begin));
-        });
-        sink(stats.shards, *shard, results);
-        ++stats.shards;
-        stats.items += shard->size();
-        stats.peak_mapped_bytes =
-            std::max(stats.peak_mapped_bytes, shard->fileBytes());
-    }
-    stats.peak_queue_depth = shards.peakQueueDepth();
-    return stats;
-}
-
-StreamStats
-EvalEngine::pvalueScreenedStreamImpl(const FormatOps &format,
-                                 io::ShardStream &shards,
-                                 const ScreenedShardSink &sink,
-                                 const pbd::ScreenConfig &config,
-                                 SumPolicy sum)
-{
-    StreamStats stats;
-    while (auto shard = shards.next()) {
-        const ScreenedPValueBatch batch = screenedEval(
-            format, shard->size(),
-            [&](size_t i) { return shard->column(i); }, config, sum);
-        sink(stats.shards, *shard, batch);
-        ++stats.shards;
-        stats.items += shard->size();
-        stats.peak_mapped_bytes =
-            std::max(stats.peak_mapped_bytes, shard->fileBytes());
-    }
-    stats.peak_queue_depth = shards.peakQueueDepth();
-    return stats;
-}
-
-StreamStats
-EvalEngine::forwardStreamImpl(const FormatOps &format,
-                          const hmm::Model &model,
-                          io::ShardStream &shards,
-                          const ShardResultSink &sink,
-                          Dataflow dataflow)
-{
-    StreamStats stats;
-    std::vector<EvalResult> results;
-    while (auto shard = shards.next()) {
-        results.resize(shard->size());
-        parallelFor(shard->size(), [&](size_t i) {
-            results[i] = format.hmmForward(model, shard->sequence(i),
-                                           dataflow);
-        });
-        sink(stats.shards, *shard, results);
-        ++stats.shards;
-        stats.items += shard->size();
-        stats.peak_mapped_bytes =
-            std::max(stats.peak_mapped_bytes, shard->fileBytes());
-    }
-    stats.peak_queue_depth = shards.peakQueueDepth();
-    return stats;
-}
-
-std::vector<EvalResult>
-EvalEngine::forwardBatchImpl(const FormatOps &format,
-                         std::span<const ForwardJob> jobs,
-                         Dataflow dataflow)
-{
-    std::vector<EvalResult> out(jobs.size());
-    parallelFor(jobs.size(), [&](size_t i) {
-        out[i] = format.hmmForward(*jobs[i].model, jobs[i].obs,
-                                   dataflow);
     });
     return out;
 }

@@ -4,36 +4,36 @@
  *
  * The accuracy figures evaluate thousands of independent work items
  * (alignment columns, HMM sequences) per format; the seed ran them
- * one nested loop at a time. EvalEngine owns a persistent worker
- * pool and evaluates whole batches — p-values (exact and screened,
- * see pbd/screen.hh) and the full HMM kernel family (forward,
- * backward, posterior marginals, Viterbi), each with its ScaledDD
- * oracle batch — through the type-erased FormatOps interface,
- * writing each item's result into its own slot, so the batched
- * output is bit-identical to the serial per-item loops, just
- * computed on every core. Lanes claim work in chunks of consecutive
- * indices (auto-sized, PSTAT_GRAIN overridable) rather than one
- * index per mutex acquisition, so 100k-item batches do not serialize
- * on the work mutex. AccuracyTally then folds results against
- * oracle values serially (deterministic order) using the
- * core/accuracy.hh measurement, replacing the per-format tally code
- * that was copy-pasted across the benches.
+ * one nested loop at a time. EvalEngine composes the three runtime
+ * layers — a JobSource yielding WorkBlocks (engine/job_source.hh),
+ * the persistent chunk-claiming Executor (engine/executor.hh), and a
+ * ResultSink receiving each block's results (engine/result_sink.hh)
+ * — and evaluates whole batches of p-values (exact and screened, see
+ * pbd/screen.hh) and the full HMM kernel family (forward, backward,
+ * posterior marginals, Viterbi), each with its ScaledDD oracle
+ * batch, through the type-erased FormatOps interface. Each item's
+ * result lands in its own slot, so the batched output is
+ * bit-identical to the serial per-item loops, just computed on every
+ * core. AccuracyTally then folds results against oracle values
+ * serially (deterministic order) using the core/accuracy.hh
+ * measurement, replacing the per-format tally code that was
+ * copy-pasted across the benches.
  */
 
 #ifndef PSTAT_ENGINE_EVAL_ENGINE_HH
 #define PSTAT_ENGINE_EVAL_ENGINE_HH
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <span>
-#include <thread>
 #include <vector>
 
 #include "engine/escalate.hh"
+#include "engine/executor.hh"
 #include "engine/format_registry.hh"
+#include "engine/job_source.hh"
 #include "engine/plan.hh"
+#include "engine/result_sink.hh"
 #include "io/shard_stream.hh"
 #include "pbd/dataset.hh"
 #include "pbd/screen.hh"
@@ -58,75 +58,6 @@
 
 namespace pstat::engine
 {
-
-/**
- * One HMM work item (model is borrowed, not owned) — the input of
- * every HMM batch: forward, backward, posterior, and Viterbi.
- */
-struct ForwardJob
-{
-    const hmm::Model *model = nullptr; //!< borrowed model (A, B, pi)
-    std::span<const int> obs;          //!< observation sequence
-};
-
-/**
- * One screened p-value batch: the two-stage pipeline of
- * pbd/screen.hh evaluated over the engine. Columns the screen
- * evaluated carry the format's exact DP result, bit-identical to the
- * unscreened pvalueBatch slot; skipped columns carry only an
- * order-of-magnitude placeholder (2^round(estimate)) — consult the
- * skipped mask before trusting a value.
- */
-struct ScreenedPValueBatch
-{
-    /** Per-column results (placeholder-valued where skipped). */
-    std::vector<EvalResult> results;
-    /** 1 where the exact DP was skipped, 0 where it ran. */
-    std::vector<uint8_t> skipped;
-    /** Per-column pvalueLog2Estimate values, in column order. */
-    std::vector<double> estimates_log2;
-    /** The screen configuration the batch was evaluated under. */
-    pbd::ScreenConfig config;
-    /** Screening tallies (skips, DP dispatches, guard-band hits). */
-    pbd::ScreenStats stats;
-};
-
-/**
- * Bookkeeping of one streamed evaluation: how much flowed through
- * the pipeline and how tight its memory bound actually was.
- */
-struct StreamStats
-{
-    size_t shards = 0; //!< shards evaluated
-    size_t items = 0;  //!< records (columns / sequences) evaluated
-    /** Largest single mapped shard (bytes) — the O(shard) footprint. */
-    size_t peak_mapped_bytes = 0;
-    /** High-water mark of loaded-but-unconsumed shards in the queue. */
-    size_t peak_queue_depth = 0;
-};
-
-/**
- * Per-shard result delivery of a streamed evaluation. The shard (and
- * any view into it) is only valid for the duration of the call; the
- * results span is the shard's records in record order.
- */
-using ShardResultSink =
-    std::function<void(size_t shard_index, const io::ShardReader &shard,
-                       std::span<const EvalResult> results)>;
-
-/** Per-shard delivery of a streamed screened evaluation. */
-using ScreenedShardSink =
-    std::function<void(size_t shard_index, const io::ShardReader &shard,
-                       const ScreenedPValueBatch &batch)>;
-
-/**
- * Per-shard delivery of a streamed adaptive evaluation. The batch
- * (and the shard it references) is only valid for the duration of
- * the call.
- */
-using AdaptiveShardSink =
-    std::function<void(size_t shard_index, const io::ShardReader &shard,
-                       const AdaptiveBatch &batch)>;
 
 /**
  * Runtime bindings of one plan execution — everything a plan cannot
@@ -166,33 +97,17 @@ struct PlanInputs
     ScreenedShardSink screened_sink;
     /** Per-shard delivery of an adaptive stream (else accumulated). */
     AdaptiveShardSink adaptive_sink;
+    /**
+     * Extra sink (borrowed) teed into every delivery in addition to
+     * the normal routing (accumulation / per-shard callbacks) — how
+     * a run persists a result shard (engine/result_sink.hh
+     * ShardFileSink) while still returning its PlanRun. Receives
+     * finish() after the last block.
+     */
+    ResultSink *result_sink = nullptr;
 };
 
-/**
- * Everything one plan execution produced. Only the fields matching
- * the plan's kernel x source x policy are populated; the rest stay
- * default-constructed. Streamed executions without a sink accumulate
- * per-shard results here (batches concatenated in shard order, tier
- * and screen tallies merged), so small callers need no sink at all.
- */
-struct PlanRun
-{
-    /** Per-item results of the Fixed policy (pvalue / forward /
-     *  backward kernels; concatenated across shards for streams). */
-    std::vector<EvalResult> results;
-    /** Per-job posterior marginals of a Posterior plan. */
-    std::vector<PosteriorResult> posteriors;
-    /** Per-job decodes of a Viterbi plan. */
-    std::vector<ViterbiResult> decodes;
-    /** The screened batch of a Screened plan (merged for streams). */
-    ScreenedPValueBatch screened;
-    /** The adaptive batch of an adaptive plan (merged for streams). */
-    AdaptiveBatch adaptive;
-    /** Pipeline bookkeeping of a ShardStream plan. */
-    StreamStats stream;
-};
-
-/** A persistent worker pool evaluating kernel batches. */
+/** The composition root: source → executor → sink, per plan. */
 class EvalEngine
 {
   public:
@@ -217,7 +132,7 @@ class EvalEngine
     EvalEngine &operator=(const EvalEngine &) = delete; //!< not copyable
 
     /** Total evaluation lanes (workers + the calling thread). */
-    unsigned threadCount() const { return lanes_; }
+    unsigned threadCount() const { return executor_.laneCount(); }
 
     /**
      * The scheduling grain an n-item batch would run with: the
@@ -225,14 +140,17 @@ class EvalEngine
      * max(1, n / (lanes * 8)). Exposed so the grain resolution is
      * testable and benches can report it.
      */
-    size_t
-    grainForBatch(size_t n) const
+    size_t grainForBatch(size_t n) const
     {
-        if (grain_override_ != 0)
-            return grain_override_;
-        const size_t auto_grain = n / (size_t{lanes_} * 8);
-        return auto_grain == 0 ? 1 : auto_grain;
+        return executor_.grainFor(n);
     }
+
+    /**
+     * The executor layer the engine schedules on — exposed so
+     * callers can install per-chunk instrumentation
+     * (Executor::setChunkHook) between runs.
+     */
+    Executor &executor() { return executor_; }
 
     /**
      * Run fn(i) for every i in [0, n), distributed over the pool.
@@ -240,8 +158,10 @@ class EvalEngine
      * on the calling thread. fn must be safe to call concurrently
      * for distinct i.
      */
-    void parallelFor(size_t n,
-                     const std::function<void(size_t)> &fn);
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn)
+    {
+        executor_.parallelFor(n, fn);
+    }
 
     /**
      * Run fn(begin, end) over a partition of [0, n): each call is one
@@ -253,18 +173,26 @@ class EvalEngine
      * calling thread. fn must be safe to call concurrently for
      * disjoint chunks.
      */
-    void parallelForChunks(
-        size_t n, const std::function<void(size_t, size_t)> &fn);
+    void parallelForChunks(size_t n,
+                           const std::function<void(size_t, size_t)> &fn)
+    {
+        executor_.parallelForChunks(n, fn);
+    }
 
     /**
      * The one evaluation pipeline: validate the plan (validatePlan,
      * plus binding-level checks against @p inputs), resolve its
-     * format / ladder / summation policy, and execute its kernel x
-     * source x accuracy-policy combination over the pool. Every
-     * legacy entry point below is a thin wrapper that builds the
-     * equivalent plan and delegates here, so for each combination the
-     * results are bit-identical to the pre-plan entry points
-     * (ctest-enforced per registered format by tests/test_plan.cc).
+     * format / ladder / summation policy, then compose the three
+     * layers — the plan's source (memory spans or a shard stream)
+     * yields WorkBlocks, each block runs its kernel x policy stage
+     * over the executor, and each block's results go to the resolved
+     * sink (accumulation into the returned PlanRun, the legacy
+     * per-shard callbacks, plus inputs.result_sink when bound).
+     * Every legacy entry point below is a thin wrapper that builds
+     * the equivalent plan and delegates here, so for each
+     * combination the results are bit-identical to the pre-plan
+     * entry points (ctest-enforced per registered format by
+     * tests/test_plan.cc).
      *
      * Plan knobs consumed here: kernel, source, policy, format_id /
      * ladder_ids (unless overridden via inputs), cert, screen, sum
@@ -499,42 +427,22 @@ class EvalEngine
   private:
     /**
      * @name Kernel stages of run()
-     * The pre-plan entry-point bodies, now the private stages the
-     * run() dispatch composes. Each is exactly the old public body,
-     * so every wrapper is bit-identical to its pre-refactor self.
+     * One stage per kernel x policy shape, each evaluating one
+     * WorkBlock over the executor. Every stage body is exactly the
+     * corresponding pre-layer loop, so every wrapper is bit-identical
+     * to its pre-refactor self regardless of the block's source.
      */
     ///@{
     std::vector<EvalResult>
-    pvalueBatchImpl(const FormatOps &format,
-                    std::span<const pbd::Column> columns,
-                    SumPolicy sum);
-    StreamStats pvalueStreamImpl(const FormatOps &format,
-                                 io::ShardStream &shards,
-                                 const ShardResultSink &sink,
-                                 SumPolicy sum);
-    StreamStats
-    pvalueScreenedStreamImpl(const FormatOps &format,
-                             io::ShardStream &shards,
-                             const ScreenedShardSink &sink,
-                             const pbd::ScreenConfig &config,
-                             SumPolicy sum);
-    StreamStats pvalueAdaptiveStreamImpl(
-        const Ladder &ladder, io::ShardStream &shards,
-        const AdaptiveShardSink &sink, const CertConfig &cert,
-        const std::optional<pbd::ScreenConfig> &screen, SumPolicy sum);
+    pvalueFixedStage(const FormatOps &format, const WorkBlock &block,
+                     SumPolicy sum);
+    std::vector<EvalResult>
+    forwardFixedStage(const FormatOps &format, const WorkBlock &block,
+                      Dataflow dataflow);
     AdaptiveBatch
     forwardAdaptiveBatchImpl(const Ladder &ladder,
                              std::span<const ForwardJob> jobs,
                              const CertConfig &cert, Dataflow dataflow);
-    StreamStats forwardStreamImpl(const FormatOps &format,
-                                  const hmm::Model &model,
-                                  io::ShardStream &shards,
-                                  const ShardResultSink &sink,
-                                  Dataflow dataflow);
-    std::vector<EvalResult>
-    forwardBatchImpl(const FormatOps &format,
-                     std::span<const ForwardJob> jobs,
-                     Dataflow dataflow);
     std::vector<EvalResult>
     backwardBatchImpl(const FormatOps &format,
                       std::span<const ForwardJob> jobs,
@@ -571,27 +479,7 @@ class EvalEngine
                  const std::optional<pbd::ScreenConfig> &screen,
                  SumPolicy sum);
 
-    void workerLoop();
-    void runBatch(size_t n,
-                  const std::function<void(size_t, size_t)> &fn);
-    bool claimChunk(size_t &begin, size_t &end);
-    void drainChunks(const std::function<void(size_t, size_t)> &fn);
-
-    unsigned lanes_ = 1;
-    size_t grain_override_ = 0; //!< 0 = auto-size per batch
-    std::vector<std::thread> workers_;
-
-    std::mutex mutex_;
-    std::condition_variable work_cv_;
-    std::condition_variable done_cv_;
-    const std::function<void(size_t, size_t)> *job_ = nullptr;
-    size_t next_ = 0;
-    size_t total_ = 0;
-    size_t batch_grain_ = 1; //!< resolved grain of the running batch
-    size_t in_flight_ = 0;
-    uint64_t epoch_ = 0;
-    bool stop_ = false;
-    std::exception_ptr first_error_;
+    Executor executor_;
 };
 
 /**

@@ -1,0 +1,491 @@
+#include "engine/result_sink.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace pstat::engine
+{
+
+namespace
+{
+
+/** Fold one shard's screened batch into the sink-less accumulator. */
+void
+mergeScreened(ScreenedPValueBatch &total,
+              const ScreenedPValueBatch &batch)
+{
+    total.config = batch.config;
+    total.results.insert(total.results.end(), batch.results.begin(),
+                         batch.results.end());
+    total.skipped.insert(total.skipped.end(), batch.skipped.begin(),
+                         batch.skipped.end());
+    total.estimates_log2.insert(total.estimates_log2.end(),
+                                batch.estimates_log2.begin(),
+                                batch.estimates_log2.end());
+    total.stats.columns += batch.stats.columns;
+    total.stats.skipped += batch.stats.skipped;
+    total.stats.evaluated += batch.stats.evaluated;
+    total.stats.guard_band_hits += batch.stats.guard_band_hits;
+}
+
+/** Fold one shard's adaptive batch into the sink-less accumulator
+ *  (tier tallies merged by format_id in first-seen order, exactly
+ *  like AccuracyTally::recordTiers). */
+void
+mergeAdaptive(AdaptiveBatch &total, const AdaptiveBatch &batch)
+{
+    total.cert = batch.cert;
+    total.results.insert(total.results.end(), batch.results.begin(),
+                         batch.results.end());
+    total.skipped.insert(total.skipped.end(), batch.skipped.begin(),
+                         batch.skipped.end());
+    total.estimates_log2.insert(total.estimates_log2.end(),
+                                batch.estimates_log2.begin(),
+                                batch.estimates_log2.end());
+    for (const TierStats &tier : batch.tiers) {
+        const auto it = std::find_if(
+            total.tiers.begin(), total.tiers.end(),
+            [&](const TierStats &t) {
+                return t.format_id == tier.format_id;
+            });
+        if (it == total.tiers.end()) {
+            total.tiers.push_back(tier);
+            continue;
+        }
+        it->evaluated += tier.evaluated;
+        it->certified += tier.certified;
+        it->bypassed += tier.bypassed;
+        it->wall_ms += tier.wall_ms;
+    }
+    total.certified += batch.certified;
+    total.uncertified += batch.uncertified;
+    total.screen_stats.columns += batch.screen_stats.columns;
+    total.screen_stats.skipped += batch.screen_stats.skipped;
+    total.screen_stats.evaluated += batch.screen_stats.evaluated;
+    total.screen_stats.guard_band_hits +=
+        batch.screen_stats.guard_band_hits;
+}
+
+[[noreturn]] void
+unconsumed(const char *channel)
+{
+    throw std::logic_error(std::string("sink does not consume ") +
+                           channel);
+}
+
+} // namespace
+
+// --------------------------------------------------- ResultSink base
+
+void
+ResultSink::consumeResults(const WorkBlock &,
+                           std::span<const EvalResult>)
+{
+    unconsumed("fixed results");
+}
+
+void
+ResultSink::consumeScreened(const WorkBlock &,
+                            const ScreenedPValueBatch &)
+{
+    unconsumed("screened batches");
+}
+
+void
+ResultSink::consumeAdaptive(const WorkBlock &, const AdaptiveBatch &)
+{
+    unconsumed("adaptive batches");
+}
+
+void
+ResultSink::consumePosteriors(const WorkBlock &,
+                              std::span<const PosteriorResult>)
+{
+    unconsumed("posteriors");
+}
+
+void
+ResultSink::consumeDecodes(const WorkBlock &,
+                           std::span<const ViterbiResult>)
+{
+    unconsumed("decodes");
+}
+
+// ------------------------------------------------------- accumulate
+
+void
+AccumulateSink::consumeResults(const WorkBlock &,
+                               std::span<const EvalResult> results)
+{
+    out_.results.insert(out_.results.end(), results.begin(),
+                        results.end());
+}
+
+void
+AccumulateSink::consumeScreened(const WorkBlock &,
+                                const ScreenedPValueBatch &batch)
+{
+    mergeScreened(out_.screened, batch);
+}
+
+void
+AccumulateSink::consumeAdaptive(const WorkBlock &,
+                                const AdaptiveBatch &batch)
+{
+    mergeAdaptive(out_.adaptive, batch);
+}
+
+void
+AccumulateSink::consumePosteriors(
+    const WorkBlock &, std::span<const PosteriorResult> posteriors)
+{
+    out_.posteriors.insert(out_.posteriors.end(), posteriors.begin(),
+                           posteriors.end());
+}
+
+void
+AccumulateSink::consumeDecodes(const WorkBlock &,
+                               std::span<const ViterbiResult> decodes)
+{
+    out_.decodes.insert(out_.decodes.end(), decodes.begin(),
+                        decodes.end());
+}
+
+// ------------------------------------------------------------ tally
+
+void
+TallySink::note(const EvalResult &result)
+{
+    ++tally_.items;
+    if (result.invalid)
+        ++tally_.invalid;
+    if (result.underflow)
+        ++tally_.underflows;
+    if (threshold_ && result.value.isFinite() &&
+        result.value < *threshold_)
+        ++tally_.below_threshold;
+    if (!result.value.isZero() && !result.value.isNaN()) {
+        const double log2 = result.value.log2Abs();
+        tally_.min_log2 = tally_.min_log2
+                              ? std::min(*tally_.min_log2, log2)
+                              : log2;
+        tally_.max_log2 = tally_.max_log2
+                              ? std::max(*tally_.max_log2, log2)
+                              : log2;
+    }
+}
+
+void
+TallySink::consumeResults(const WorkBlock &,
+                          std::span<const EvalResult> results)
+{
+    for (const EvalResult &result : results)
+        note(result);
+}
+
+void
+TallySink::consumeScreened(const WorkBlock &,
+                           const ScreenedPValueBatch &batch)
+{
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+        if (i < batch.skipped.size() && batch.skipped[i]) {
+            ++tally_.items;
+            ++tally_.skipped;
+            continue;
+        }
+        note(batch.results[i]);
+    }
+}
+
+void
+TallySink::consumeAdaptive(const WorkBlock &,
+                           const AdaptiveBatch &batch)
+{
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+        if (i < batch.skipped.size() && batch.skipped[i]) {
+            ++tally_.items;
+            ++tally_.skipped;
+            continue;
+        }
+        note(batch.results[i].result);
+    }
+    tally_.certified += batch.certified;
+    tally_.uncertified += batch.uncertified;
+}
+
+void
+TallySink::consumePosteriors(
+    const WorkBlock &, std::span<const PosteriorResult> posteriors)
+{
+    for (const PosteriorResult &posterior : posteriors)
+        note(posterior.likelihood);
+}
+
+void
+TallySink::consumeDecodes(const WorkBlock &,
+                          std::span<const ViterbiResult> decodes)
+{
+    for (const ViterbiResult &decode : decodes) {
+        note(decode.probability);
+        ++tally_.decodes;
+    }
+}
+
+// -------------------------------------------------------- file sink
+
+ShardFileSink::ShardFileSink(const std::string &path,
+                             PlanKernel kernel,
+                             const std::string &format_id)
+    : writer_(path, static_cast<uint32_t>(kernel), format_id)
+{
+}
+
+void
+ShardFileSink::consumeResults(const WorkBlock &,
+                              std::span<const EvalResult> results)
+{
+    for (const EvalResult &result : results) {
+        writer_.addResult(encodeResultRecord(result));
+        ++written_;
+    }
+}
+
+void
+ShardFileSink::consumeScreened(const WorkBlock &,
+                               const ScreenedPValueBatch &batch)
+{
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+        const uint32_t extra =
+            (i < batch.skipped.size() && batch.skipped[i])
+                ? io::result_flag_skipped
+                : 0;
+        writer_.addResult(encodeResultRecord(batch.results[i], extra));
+        ++written_;
+    }
+}
+
+void
+ShardFileSink::consumeAdaptive(const WorkBlock &,
+                               const AdaptiveBatch &batch)
+{
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+        const EscalationResult &item = batch.results[i];
+        uint32_t extra = 0;
+        if (i < batch.skipped.size() && batch.skipped[i])
+            extra |= io::result_flag_skipped;
+        if (item.certified)
+            extra |= io::result_flag_certified;
+        writer_.addResult(encodeResultRecord(item.result, extra));
+        ++written_;
+    }
+}
+
+void
+ShardFileSink::consumeDecodes(const WorkBlock &,
+                              std::span<const ViterbiResult> decodes)
+{
+    for (const ViterbiResult &decode : decodes) {
+        io::ShardResultRecord record =
+            encodeResultRecord(decode.probability);
+        record.aux = decode.first_underflow_step;
+        record.path = decode.path;
+        writer_.addResult(record);
+        ++written_;
+    }
+}
+
+void
+ShardFileSink::finish()
+{
+    writer_.close();
+}
+
+// -------------------------------------------------------- callbacks
+
+void
+CallbackSink::consumeResults(const WorkBlock &block,
+                             std::span<const EvalResult> results)
+{
+    if (sink_ && block.shard != nullptr) {
+        sink_(block.index, *block.shard, results);
+        return;
+    }
+    fallback_.consumeResults(block, results);
+}
+
+void
+CallbackSink::consumeScreened(const WorkBlock &block,
+                              const ScreenedPValueBatch &batch)
+{
+    if (screened_sink_ && block.shard != nullptr) {
+        screened_sink_(block.index, *block.shard, batch);
+        return;
+    }
+    fallback_.consumeScreened(block, batch);
+}
+
+void
+CallbackSink::consumeAdaptive(const WorkBlock &block,
+                              const AdaptiveBatch &batch)
+{
+    if (adaptive_sink_ && block.shard != nullptr) {
+        adaptive_sink_(block.index, *block.shard, batch);
+        return;
+    }
+    fallback_.consumeAdaptive(block, batch);
+}
+
+void
+CallbackSink::consumePosteriors(
+    const WorkBlock &block, std::span<const PosteriorResult> posteriors)
+{
+    fallback_.consumePosteriors(block, posteriors);
+}
+
+void
+CallbackSink::consumeDecodes(const WorkBlock &block,
+                             std::span<const ViterbiResult> decodes)
+{
+    fallback_.consumeDecodes(block, decodes);
+}
+
+// -------------------------------------------------------------- tee
+
+void
+TeeSink::consumeResults(const WorkBlock &block,
+                        std::span<const EvalResult> results)
+{
+    for (ResultSink *sink : sinks_)
+        sink->consumeResults(block, results);
+}
+
+void
+TeeSink::consumeScreened(const WorkBlock &block,
+                         const ScreenedPValueBatch &batch)
+{
+    for (ResultSink *sink : sinks_)
+        sink->consumeScreened(block, batch);
+}
+
+void
+TeeSink::consumeAdaptive(const WorkBlock &block,
+                         const AdaptiveBatch &batch)
+{
+    for (ResultSink *sink : sinks_)
+        sink->consumeAdaptive(block, batch);
+}
+
+void
+TeeSink::consumePosteriors(const WorkBlock &block,
+                           std::span<const PosteriorResult> posteriors)
+{
+    for (ResultSink *sink : sinks_)
+        sink->consumePosteriors(block, posteriors);
+}
+
+void
+TeeSink::consumeDecodes(const WorkBlock &block,
+                        std::span<const ViterbiResult> decodes)
+{
+    for (ResultSink *sink : sinks_)
+        sink->consumeDecodes(block, decodes);
+}
+
+void
+TeeSink::finish()
+{
+    for (ResultSink *sink : sinks_)
+        sink->finish();
+}
+
+// --------------------------------------------- record encode/decode
+
+io::ShardResultRecord
+encodeResultRecord(const EvalResult &result, uint32_t extra_flags)
+{
+    io::ShardResultRecord record;
+    record.flags = extra_flags;
+    if (result.invalid)
+        record.flags |= io::result_flag_invalid;
+    if (result.underflow)
+        record.flags |= io::result_flag_underflow;
+    const BigFloat &value = result.value;
+    if (value.isNaN()) {
+        record.flags |= io::result_flag_nan;
+    } else if (value.isZero()) {
+        record.flags |= io::result_flag_zero;
+    } else {
+        if (value.isNegative())
+            record.flags |= io::result_flag_negative;
+        // exponent() is the floor-log2 convention (exp_ - 1); store
+        // the internal exponent so fromLimbs round-trips exactly.
+        record.exp = value.exponent() + 1;
+        record.limbs = value.mantissa();
+    }
+    return record;
+}
+
+EvalResult
+decodeResultValue(const io::ShardResultRecord &record)
+{
+    EvalResult result;
+    result.invalid = (record.flags & io::result_flag_invalid) != 0;
+    result.underflow = (record.flags & io::result_flag_underflow) != 0;
+    if ((record.flags & io::result_flag_nan) != 0)
+        result.value = BigFloat::nan();
+    else if ((record.flags & io::result_flag_zero) != 0)
+        result.value = BigFloat::zero();
+    else
+        result.value = BigFloat::fromLimbs(
+            (record.flags & io::result_flag_negative) != 0,
+            record.exp, record.limbs);
+    return result;
+}
+
+ResultShardData
+readResultShard(const std::string &path)
+{
+    const io::ShardReader reader(path);
+    if (reader.payload() != io::ShardPayload::Results)
+        throw io::ShardError(path +
+                             ": not a results shard (payload tag " +
+                             std::to_string(static_cast<uint32_t>(
+                                 reader.payload())) +
+                             ")");
+    const uint32_t kernel_tag = reader.resultKernel();
+    if (kernel_tag < static_cast<uint32_t>(PlanKernel::PValue) ||
+        kernel_tag > static_cast<uint32_t>(PlanKernel::Viterbi))
+        throw io::ShardError(path + ": unknown result kernel tag " +
+                             std::to_string(kernel_tag));
+
+    ResultShardData out;
+    out.kernel = static_cast<PlanKernel>(kernel_tag);
+    out.format_id = reader.resultFormatId();
+    out.skipped.resize(reader.size(), 0);
+    out.certified.resize(reader.size(), 0);
+    const bool viterbi = out.kernel == PlanKernel::Viterbi;
+    if (viterbi)
+        out.decodes.reserve(reader.size());
+    else
+        out.results.reserve(reader.size());
+    for (size_t i = 0; i < reader.size(); ++i) {
+        const io::ShardResultRecord record = reader.result(i);
+        if ((record.flags & io::result_flag_skipped) != 0)
+            out.skipped[i] = 1;
+        if ((record.flags & io::result_flag_certified) != 0)
+            out.certified[i] = 1;
+        if (viterbi) {
+            ViterbiResult decode;
+            decode.path.assign(record.path.begin(),
+                               record.path.end());
+            decode.probability = decodeResultValue(record);
+            decode.first_underflow_step = record.aux;
+            out.decodes.push_back(std::move(decode));
+        } else {
+            out.results.push_back(decodeResultValue(record));
+        }
+    }
+    return out;
+}
+
+} // namespace pstat::engine

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * The sink layer: where evaluation results go.
+ *
+ * The top layer of the source → executor → sink decomposition
+ * (docs/ARCHITECTURE.md). The composition root hands each
+ * WorkBlock's results to one ResultSink, block by block, so what
+ * happens to results — accumulate in memory, tally summary
+ * statistics, persist to a result shard, fan out to legacy per-shard
+ * callbacks — is a policy chosen per run, not fused into the
+ * evaluation loops. The file sink closes the io loop: it writes the
+ * PR 5 shard encoding's Results payload (io/shard.hh), so a
+ * distributed evaluation leaves one idempotent, CRC-validated result
+ * file per worker that any ShardReader can audit, and
+ * `pstat eval -o out.shard` gets a durable output mode.
+ */
+
+#ifndef PSTAT_ENGINE_RESULT_SINK_HH
+#define PSTAT_ENGINE_RESULT_SINK_HH
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/escalate.hh"
+#include "engine/format_registry.hh"
+#include "engine/job_source.hh"
+#include "engine/plan.hh"
+#include "io/shard.hh"
+
+namespace pstat::engine
+{
+
+/**
+ * One screened p-value batch: the two-stage pipeline of
+ * pbd/screen.hh evaluated over the engine. Columns the screen
+ * evaluated carry the format's exact DP result, bit-identical to the
+ * unscreened pvalueBatch slot; skipped columns carry only an
+ * order-of-magnitude placeholder (2^round(estimate)) — consult the
+ * skipped mask before trusting a value.
+ */
+struct ScreenedPValueBatch
+{
+    /** Per-column results (placeholder-valued where skipped). */
+    std::vector<EvalResult> results;
+    /** 1 where the exact DP was skipped, 0 where it ran. */
+    std::vector<uint8_t> skipped;
+    /** Per-column pvalueLog2Estimate values, in column order. */
+    std::vector<double> estimates_log2;
+    /** The screen configuration the batch was evaluated under. */
+    pbd::ScreenConfig config;
+    /** Screening tallies (skips, DP dispatches, guard-band hits). */
+    pbd::ScreenStats stats;
+};
+
+/**
+ * Per-shard result delivery of a streamed evaluation. The shard (and
+ * any view into it) is only valid for the duration of the call; the
+ * results span is the shard's records in record order.
+ */
+using ShardResultSink =
+    std::function<void(size_t shard_index, const io::ShardReader &shard,
+                       std::span<const EvalResult> results)>;
+
+/** Per-shard delivery of a streamed screened evaluation. */
+using ScreenedShardSink =
+    std::function<void(size_t shard_index, const io::ShardReader &shard,
+                       const ScreenedPValueBatch &batch)>;
+
+/**
+ * Per-shard delivery of a streamed adaptive evaluation. The batch
+ * (and the shard it references) is only valid for the duration of
+ * the call.
+ */
+using AdaptiveShardSink =
+    std::function<void(size_t shard_index, const io::ShardReader &shard,
+                       const AdaptiveBatch &batch)>;
+
+/**
+ * Everything one plan execution produced. Only the fields matching
+ * the plan's kernel x source x policy are populated; the rest stay
+ * default-constructed. Streamed executions without a sink accumulate
+ * per-shard results here (batches concatenated in shard order, tier
+ * and screen tallies merged), so small callers need no sink at all.
+ */
+struct PlanRun
+{
+    /** Per-item results of the Fixed policy (pvalue / forward /
+     *  backward kernels; concatenated across shards for streams). */
+    std::vector<EvalResult> results;
+    /** Per-job posterior marginals of a Posterior plan. */
+    std::vector<PosteriorResult> posteriors;
+    /** Per-job decodes of a Viterbi plan. */
+    std::vector<ViterbiResult> decodes;
+    /** The screened batch of a Screened plan (merged for streams). */
+    ScreenedPValueBatch screened;
+    /** The adaptive batch of an adaptive plan (merged for streams). */
+    AdaptiveBatch adaptive;
+    /** Pipeline bookkeeping of a ShardStream plan. */
+    StreamStats stream;
+};
+
+/**
+ * Where evaluation results go: one consume call per WorkBlock, on
+ * the composition-root thread (never concurrently), in block order.
+ * Exactly one of the consume channels fires per run — the one
+ * matching the plan's kernel x policy; the base implementations
+ * throw std::logic_error so a sink wired to a channel it does not
+ * implement fails loudly instead of dropping results. The block
+ * reference (and any shard view behind it) is only valid for the
+ * duration of the call. finish() is called once after the source is
+ * exhausted — the flush/close point for buffering sinks.
+ */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Fixed-policy per-item results (pvalue / forward / backward). */
+    virtual void consumeResults(const WorkBlock &block,
+                                std::span<const EvalResult> results);
+    /** One screened batch (Screened policy). */
+    virtual void consumeScreened(const WorkBlock &block,
+                                 const ScreenedPValueBatch &batch);
+    /** One adaptive batch (Adaptive / ScreenedAdaptive policy). */
+    virtual void consumeAdaptive(const WorkBlock &block,
+                                 const AdaptiveBatch &batch);
+    /** Per-job posterior marginals (Posterior kernel). */
+    virtual void
+    consumePosteriors(const WorkBlock &block,
+                      std::span<const PosteriorResult> posteriors);
+    /** Per-job Viterbi decodes (Viterbi kernel). */
+    virtual void consumeDecodes(const WorkBlock &block,
+                                std::span<const ViterbiResult> decodes);
+    /** Called once after the last block; default is a no-op. */
+    virtual void finish() {}
+};
+
+/**
+ * The default sink: accumulate everything into a PlanRun, exactly as
+ * the pre-layer run() did — fixed results concatenated in block
+ * order, screened/adaptive batches merged (tier tallies folded by
+ * format_id in first-seen order). Memory plans deliver one block, so
+ * the merge degenerates to plain assignment and the PlanRun is
+ * bit-identical to the old direct-return fields.
+ */
+class AccumulateSink final : public ResultSink
+{
+  public:
+    /** Accumulates into `out` (borrowed; must outlive the sink). */
+    explicit AccumulateSink(PlanRun &out) : out_(out) {}
+
+    void consumeResults(const WorkBlock &block,
+                        std::span<const EvalResult> results) override;
+    void consumeScreened(const WorkBlock &block,
+                         const ScreenedPValueBatch &batch) override;
+    void consumeAdaptive(const WorkBlock &block,
+                         const AdaptiveBatch &batch) override;
+    void consumePosteriors(
+        const WorkBlock &block,
+        std::span<const PosteriorResult> posteriors) override;
+    void
+    consumeDecodes(const WorkBlock &block,
+                   std::span<const ViterbiResult> decodes) override;
+
+  private:
+    PlanRun &out_;
+};
+
+/**
+ * Summary counters of one run, accumulated by TallySink without
+ * retaining any result: the O(1)-memory alternative to a PlanRun
+ * when only the aggregate matters (CLI summaries, smoke checks).
+ */
+struct SinkTally
+{
+    size_t items = 0;       //!< results observed (all channels)
+    size_t invalid = 0;     //!< NaR / NaN results
+    size_t underflows = 0;  //!< results that computed exactly 0
+    size_t skipped = 0;     //!< screen-skipped slots (placeholders)
+    size_t certified = 0;   //!< adaptively certified items
+    size_t uncertified = 0; //!< items uncertified at the top tier
+    size_t decodes = 0;     //!< Viterbi decodes observed
+    /** Results strictly below the call threshold (when one is set). */
+    size_t below_threshold = 0;
+    /** Smallest finite nonzero |value|, log2 (empty: none seen). */
+    std::optional<double> min_log2;
+    /** Largest finite nonzero |value|, log2 (empty: none seen). */
+    std::optional<double> max_log2;
+};
+
+/**
+ * Aggregate-only sink: counts and value-range extremes, no storage.
+ * Screen-skipped slots count as skipped and are excluded from the
+ * range (their value is a placeholder, not a result).
+ */
+class TallySink final : public ResultSink
+{
+  public:
+    /**
+     * @param call_threshold when set, results with a finite value
+     *        strictly below it are counted in below_threshold —
+     *        the CLI's variant-call predicate.
+     */
+    explicit TallySink(
+        std::optional<BigFloat> call_threshold = std::nullopt)
+        : threshold_(std::move(call_threshold))
+    {
+    }
+
+    void consumeResults(const WorkBlock &block,
+                        std::span<const EvalResult> results) override;
+    void consumeScreened(const WorkBlock &block,
+                         const ScreenedPValueBatch &batch) override;
+    void consumeAdaptive(const WorkBlock &block,
+                         const AdaptiveBatch &batch) override;
+    void consumePosteriors(
+        const WorkBlock &block,
+        std::span<const PosteriorResult> posteriors) override;
+    void
+    consumeDecodes(const WorkBlock &block,
+                   std::span<const ViterbiResult> decodes) override;
+
+    /** The accumulated counters. */
+    const SinkTally &tally() const { return tally_; }
+
+  private:
+    void note(const EvalResult &result);
+
+    std::optional<BigFloat> threshold_;
+    SinkTally tally_;
+};
+
+/**
+ * Persist results as one Results-payload shard file (io/shard.hh):
+ * one record per item in delivery order, flags carrying the
+ * invalid/underflow/skipped/certified bookkeeping, the value encoded
+ * losslessly (sign, exponent, full BigFloat mantissa), Viterbi
+ * decodes carrying their path. finish() writes the header and CRC
+ * trailer — a sink that never finishes leaves an unvalidatable file,
+ * which is the idempotency story for distributed per-shard outputs.
+ * Does not consume posteriors (the T x H gamma matrices are not
+ * record-shaped); wiring it to a Posterior plan throws.
+ */
+class ShardFileSink final : public ResultSink
+{
+  public:
+    /**
+     * Opens (truncates) `path`, stamping the meta block.
+     * @param path output file
+     * @param kernel the plan kernel producing the records
+     * @param format_id the producing format (or ladder) id
+     */
+    ShardFileSink(const std::string &path, PlanKernel kernel,
+                  const std::string &format_id);
+
+    void consumeResults(const WorkBlock &block,
+                        std::span<const EvalResult> results) override;
+    void consumeScreened(const WorkBlock &block,
+                         const ScreenedPValueBatch &batch) override;
+    void consumeAdaptive(const WorkBlock &block,
+                         const AdaptiveBatch &batch) override;
+    void
+    consumeDecodes(const WorkBlock &block,
+                   std::span<const ViterbiResult> decodes) override;
+    void finish() override;
+
+    /** Records written so far. */
+    size_t written() const { return written_; }
+
+  private:
+    io::ShardWriter writer_;
+    size_t written_ = 0;
+};
+
+/**
+ * The legacy per-shard callback adapter: routes each block to the
+ * matching std::function callback when one is bound, else to the
+ * fallback sink — exactly the pre-layer "sink or accumulate"
+ * dispatch of streamed plans. Posteriors and decodes always go to
+ * the fallback (no legacy callback shape exists for them).
+ */
+class CallbackSink final : public ResultSink
+{
+  public:
+    /**
+     * @param sink legacy fixed-results callback (may be empty)
+     * @param screened_sink legacy screened callback (may be empty)
+     * @param adaptive_sink legacy adaptive callback (may be empty)
+     * @param fallback sink receiving everything not claimed by a
+     *        callback (borrowed; must outlive this sink)
+     */
+    CallbackSink(ShardResultSink sink, ScreenedShardSink screened_sink,
+                 AdaptiveShardSink adaptive_sink, ResultSink &fallback)
+        : sink_(std::move(sink)),
+          screened_sink_(std::move(screened_sink)),
+          adaptive_sink_(std::move(adaptive_sink)), fallback_(fallback)
+    {
+    }
+
+    void consumeResults(const WorkBlock &block,
+                        std::span<const EvalResult> results) override;
+    void consumeScreened(const WorkBlock &block,
+                         const ScreenedPValueBatch &batch) override;
+    void consumeAdaptive(const WorkBlock &block,
+                         const AdaptiveBatch &batch) override;
+    void consumePosteriors(
+        const WorkBlock &block,
+        std::span<const PosteriorResult> posteriors) override;
+    void
+    consumeDecodes(const WorkBlock &block,
+                   std::span<const ViterbiResult> decodes) override;
+    void finish() override { fallback_.finish(); }
+
+  private:
+    ShardResultSink sink_;
+    ScreenedShardSink screened_sink_;
+    AdaptiveShardSink adaptive_sink_;
+    ResultSink &fallback_;
+};
+
+/**
+ * Fan one delivery out to several sinks, in order — how a run both
+ * accumulates its PlanRun and persists a result shard at once.
+ */
+class TeeSink final : public ResultSink
+{
+  public:
+    /** Forwards to `sinks` in order (borrowed; must outlive this). */
+    explicit TeeSink(std::vector<ResultSink *> sinks)
+        : sinks_(std::move(sinks))
+    {
+    }
+
+    void consumeResults(const WorkBlock &block,
+                        std::span<const EvalResult> results) override;
+    void consumeScreened(const WorkBlock &block,
+                         const ScreenedPValueBatch &batch) override;
+    void consumeAdaptive(const WorkBlock &block,
+                         const AdaptiveBatch &batch) override;
+    void consumePosteriors(
+        const WorkBlock &block,
+        std::span<const PosteriorResult> posteriors) override;
+    void
+    consumeDecodes(const WorkBlock &block,
+                   std::span<const ViterbiResult> decodes) override;
+    void finish() override;
+
+  private:
+    std::vector<ResultSink *> sinks_;
+};
+
+/**
+ * Encode one evaluation result as a Results-payload record: the
+ * invalid/underflow bookkeeping and the exact BigFloat value (kind,
+ * sign, exponent, all four mantissa limbs — lossless).
+ * @param result the result to encode
+ * @param extra_flags additional result_flag_* bits (skipped,
+ *        certified) OR-ed into the record
+ */
+io::ShardResultRecord encodeResultRecord(const EvalResult &result,
+                                         uint32_t extra_flags = 0);
+
+/**
+ * Decode one Results-payload record back to an evaluation result —
+ * the exact inverse of encodeResultRecord (the record's extra flags
+ * are not represented in EvalResult and are simply ignored here;
+ * read them off record.flags).
+ */
+EvalResult decodeResultValue(const io::ShardResultRecord &record);
+
+/** Everything one result shard holds, decoded. */
+struct ResultShardData
+{
+    /** The kernel tag stamped in the meta block. */
+    PlanKernel kernel = PlanKernel::PValue;
+    /** The producing format (or ladder) id from the meta block. */
+    std::string format_id;
+    /** Decoded per-item results (empty for a Viterbi shard). */
+    std::vector<EvalResult> results;
+    /** 1 where the record carried result_flag_skipped. */
+    std::vector<uint8_t> skipped;
+    /** 1 where the record carried result_flag_certified. */
+    std::vector<uint8_t> certified;
+    /** Decoded Viterbi records (Viterbi shards only). */
+    std::vector<ViterbiResult> decodes;
+};
+
+/**
+ * Open, validate, and fully decode one result shard. Throws
+ * io::ShardError on any structural problem, including a kernel tag
+ * that is not a known PlanKernel value.
+ */
+ResultShardData readResultShard(const std::string &path);
+
+} // namespace pstat::engine
+
+#endif // PSTAT_ENGINE_RESULT_SINK_HH

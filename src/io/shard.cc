@@ -112,6 +112,35 @@ ShardWriter::add(pbd::ColumnView column)
     ++items_;
 }
 
+ShardWriter::ShardWriter(std::string path, uint32_t result_kernel,
+                         const std::string &format_id)
+    : ShardWriter(std::move(path), ShardPayload::Results)
+{
+    // The meta block precedes every record: kernel tag, id length,
+    // id bytes, zero-padded to the 8-byte record grid. It is payload
+    // (CRC-covered) but not a record (not in item_count).
+    if (format_id.size() > shard_result_id_max)
+        throw std::logic_error(path_ + ": result format id too long");
+    const auto id_len = static_cast<uint32_t>(format_id.size());
+    write(&result_kernel, sizeof(result_kernel));
+    write(&id_len, sizeof(id_len));
+    crc_ = crc32(crc_, &result_kernel, sizeof(result_kernel));
+    crc_ = crc32(crc_, &id_len, sizeof(id_len));
+    payload_bytes_ += sizeof(result_kernel) + sizeof(id_len);
+    if (id_len > 0) {
+        write(format_id.data(), id_len);
+        crc_ = crc32(crc_, format_id.data(), id_len);
+        payload_bytes_ += id_len;
+    }
+    const size_t pad_bytes = (8 - id_len % 8) % 8;
+    if (pad_bytes > 0) {
+        const uint64_t pad = 0;
+        write(&pad, pad_bytes);
+        crc_ = crc32(crc_, &pad, pad_bytes);
+        payload_bytes_ += pad_bytes;
+    }
+}
+
 void
 ShardWriter::addSequence(std::span<const int> obs)
 {
@@ -138,6 +167,64 @@ ShardWriter::addSequence(std::span<const int> obs)
     crc_ = crc32(crc_, &pad, pad_bytes);
     payload_bytes_ += sizeof(len) + sizeof(reserved) + obs_bytes +
                       pad_bytes;
+    ++items_;
+}
+
+void
+ShardWriter::addResult(const ShardResultRecord &record)
+{
+    if (payload_ != ShardPayload::Results)
+        throw std::logic_error(path_ +
+                               ": result record on a non-Results shard");
+    // Mirror the reader's open-time validation: a record this writer
+    // accepts must re-open cleanly, so malformed encodings are caller
+    // bugs (logic_error), never bad bytes on disk.
+    if ((record.flags & ~result_flag_mask) != 0)
+        throw std::logic_error(path_ + ": unknown result flag bits");
+    const bool zero = (record.flags & result_flag_zero) != 0;
+    const bool nan = (record.flags & result_flag_nan) != 0;
+    if (zero && nan)
+        throw std::logic_error(path_ +
+                               ": result flagged both zero and NaN");
+    const bool limbs_zero = record.limbs[0] == 0 &&
+                            record.limbs[1] == 0 &&
+                            record.limbs[2] == 0 && record.limbs[3] == 0;
+    if (zero || nan) {
+        if (record.exp != 0 || !limbs_zero)
+            throw std::logic_error(
+                path_ + ": non-canonical zero/NaN result record");
+    } else if ((record.limbs[3] >> 63) == 0) {
+        throw std::logic_error(path_ +
+                               ": denormalized result mantissa");
+    }
+
+    const auto count = static_cast<uint32_t>(record.path.size());
+    const uint32_t reserved = 0;
+    unsigned char buf[shard_result_record_bytes];
+    std::memcpy(buf + 0, &count, sizeof(count));
+    std::memcpy(buf + 4, &record.flags, sizeof(record.flags));
+    std::memcpy(buf + 8, &record.exp, sizeof(record.exp));
+    std::memcpy(buf + 16, record.limbs.data(), 32);
+    std::memcpy(buf + 48, &record.aux, sizeof(record.aux));
+    std::memcpy(buf + 52, &reserved, sizeof(reserved));
+    write(buf, sizeof(buf));
+    crc_ = crc32(crc_, buf, sizeof(buf));
+    payload_bytes_ += sizeof(buf);
+
+    const size_t path_bytes = record.path.size_bytes();
+    if (path_bytes > 0) {
+        write(record.path.data(), path_bytes);
+        crc_ = crc32(crc_, record.path.data(), path_bytes);
+        payload_bytes_ += path_bytes;
+    }
+    // Pad odd-length paths so the next record stays 8-aligned.
+    const uint32_t pad = 0;
+    const size_t pad_bytes = (record.path.size() % 2 != 0) ? 4 : 0;
+    if (pad_bytes > 0) {
+        write(&pad, pad_bytes);
+        crc_ = crc32(crc_, &pad, pad_bytes);
+        payload_bytes_ += pad_bytes;
+    }
     ++items_;
 }
 
@@ -206,7 +293,9 @@ ShardReader::ShardReader(const std::string &path) : path_(path)
     if (header.payload !=
             static_cast<uint32_t>(ShardPayload::Columns) &&
         header.payload !=
-            static_cast<uint32_t>(ShardPayload::Sequences)) {
+            static_cast<uint32_t>(ShardPayload::Sequences) &&
+        header.payload !=
+            static_cast<uint32_t>(ShardPayload::Results)) {
         unmap();
         fail(path, "unknown payload tag " +
                        std::to_string(header.payload));
@@ -241,6 +330,30 @@ ShardReader::ShardReader(const std::string &path) : path_(path)
     }
     offsets_.reserve(header.item_count);
     size_t offset = 0;
+    if (payload_ == ShardPayload::Results) {
+        // The meta block (kernel tag, id length, id bytes, padded to
+        // the record grid) precedes the records and is not counted
+        // in item_count.
+        if (payload_bytes_ < 8) {
+            unmap();
+            fail(path, "result meta overruns payload");
+        }
+        result_kernel_ = loadAt<uint32_t>(payload, 0);
+        const auto id_len = loadAt<uint32_t>(payload, 4);
+        if (id_len > shard_result_id_max) {
+            unmap();
+            fail(path, "result format id too long");
+        }
+        const size_t meta_bytes =
+            (8 + size_t{id_len} + 7) & ~size_t{7};
+        if (meta_bytes > payload_bytes_) {
+            unmap();
+            fail(path, "result meta overruns payload");
+        }
+        result_format_id_.assign(
+            reinterpret_cast<const char *>(payload) + 8, id_len);
+        offset = meta_bytes;
+    }
     for (uint64_t i = 0; i < header.item_count; ++i) {
         if (offset + 8 > payload_bytes_) {
             unmap();
@@ -250,13 +363,50 @@ ShardReader::ShardReader(const std::string &path) : path_(path)
         size_t record_bytes = 0;
         if (payload_ == ShardPayload::Columns) {
             record_bytes = 8 + size_t{count} * sizeof(double);
-        } else {
+        } else if (payload_ == ShardPayload::Sequences) {
             record_bytes = 8 + size_t{count} * sizeof(int32_t);
+            record_bytes = (record_bytes + 7) & ~size_t{7};
+        } else {
+            record_bytes = shard_result_record_bytes +
+                           size_t{count} * sizeof(int32_t);
             record_bytes = (record_bytes + 7) & ~size_t{7};
         }
         if (offset + record_bytes > payload_bytes_) {
             unmap();
             fail(path, "record overruns payload");
+        }
+        if (payload_ == ShardPayload::Results) {
+            // Validate the value encoding here, at open time, so
+            // result() can hand the limbs straight to
+            // BigFloat::fromLimbs (which requires a normalized
+            // mantissa) without a per-access check.
+            const auto flags = loadAt<uint32_t>(payload, offset + 4);
+            if ((flags & ~result_flag_mask) != 0) {
+                unmap();
+                fail(path, "unknown result flag bits");
+            }
+            const bool zero = (flags & result_flag_zero) != 0;
+            const bool nan = (flags & result_flag_nan) != 0;
+            if (zero && nan) {
+                unmap();
+                fail(path, "result flagged both zero and NaN");
+            }
+            const auto exp = loadAt<int64_t>(payload, offset + 8);
+            uint64_t limb_or = 0;
+            for (size_t l = 0; l < 4; ++l)
+                limb_or |=
+                    loadAt<uint64_t>(payload, offset + 16 + 8 * l);
+            if (zero || nan) {
+                if (exp != 0 || limb_or != 0) {
+                    unmap();
+                    fail(path,
+                         "non-canonical zero/NaN result record");
+                }
+            } else if ((loadAt<uint64_t>(payload, offset + 40) >>
+                        63) == 0) {
+                unmap();
+                fail(path, "denormalized result mantissa");
+            }
         }
         offsets_.push_back(offset);
         offset += record_bytes;
@@ -277,7 +427,9 @@ ShardReader::ShardReader(ShardReader &&other) noexcept
       version_(other.version_), payload_bytes_(other.payload_bytes_),
       mapped_bytes_(std::exchange(other.mapped_bytes_, 0)),
       base_(std::exchange(other.base_, nullptr)),
-      offsets_(std::move(other.offsets_))
+      offsets_(std::move(other.offsets_)),
+      result_kernel_(other.result_kernel_),
+      result_format_id_(std::move(other.result_format_id_))
 {
     other.offsets_.clear();
 }
@@ -295,6 +447,8 @@ ShardReader::operator=(ShardReader &&other) noexcept
         base_ = std::exchange(other.base_, nullptr);
         offsets_ = std::move(other.offsets_);
         other.offsets_.clear();
+        result_kernel_ = other.result_kernel_;
+        result_format_id_ = std::move(other.result_format_id_);
     }
     return *this;
 }
@@ -340,6 +494,44 @@ ShardReader::sequence(size_t i) const
     return {obs, len};
 }
 
+ShardResultRecord
+ShardReader::result(size_t i) const
+{
+    assert(payload_ == ShardPayload::Results &&
+           "result() on a non-Results shard");
+    assert(i < offsets_.size() && "result index out of range");
+    const unsigned char *payload = base_ + sizeof(ShardHeader);
+    const size_t offset = offsets_[i];
+    ShardResultRecord record;
+    const auto count = loadAt<uint32_t>(payload, offset);
+    record.flags = loadAt<uint32_t>(payload, offset + 4);
+    record.exp = loadAt<int64_t>(payload, offset + 8);
+    for (size_t l = 0; l < record.limbs.size(); ++l)
+        record.limbs[l] =
+            loadAt<uint64_t>(payload, offset + 16 + 8 * l);
+    record.aux = loadAt<int32_t>(payload, offset + 48);
+    const auto *path_entries = reinterpret_cast<const int *>(
+        payload + offset + shard_result_record_bytes);
+    record.path = {path_entries, count};
+    return record;
+}
+
+uint32_t
+ShardReader::resultKernel() const
+{
+    assert(payload_ == ShardPayload::Results &&
+           "resultKernel() on a non-Results shard");
+    return result_kernel_;
+}
+
+const std::string &
+ShardReader::resultFormatId() const
+{
+    assert(payload_ == ShardPayload::Results &&
+           "resultFormatId() on a non-Results shard");
+    return result_format_id_;
+}
+
 pbd::Column
 ShardReader::materializeColumn(size_t i) const
 {
@@ -352,6 +544,33 @@ ShardReader::materializeColumn(size_t i) const
 }
 
 // ------------------------------------------------------ conveniences
+
+std::optional<ShardPayload>
+peekShardPayload(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return std::nullopt;
+    ShardHeader header{};
+    const size_t got =
+        std::fread(&header, 1, sizeof(header), file);
+    std::fclose(file);
+    if (got != sizeof(header))
+        return std::nullopt;
+    if (std::memcmp(header.magic, shard_magic,
+                    sizeof(shard_magic)) != 0)
+        return std::nullopt;
+    switch (header.payload) {
+    case static_cast<uint32_t>(ShardPayload::Columns):
+        return ShardPayload::Columns;
+    case static_cast<uint32_t>(ShardPayload::Sequences):
+        return ShardPayload::Sequences;
+    case static_cast<uint32_t>(ShardPayload::Results):
+        return ShardPayload::Results;
+    default:
+        return std::nullopt;
+    }
+}
 
 void
 writeColumnShard(const std::string &path,

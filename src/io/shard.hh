@@ -19,6 +19,18 @@
  *    4 bytes of reserved padding, then `length` int32 observation
  *    symbols, padded to the next 8-byte boundary.
  *
+ * A third payload kind, Results, closes the loop: evaluation
+ * *output* (p-values, likelihoods, decodes) persisted in the same
+ * header + CRC envelope, so distributed workers can write idempotent
+ * per-shard result files that any reader validates exactly like an
+ * input shard. The payload opens with a small meta block (a kernel
+ * tag and the producing format id), then one fixed 56-byte record
+ * per result — flags, a sign/exponent/mantissa encoding of the
+ * exact BigFloat value, an auxiliary int — followed by an optional
+ * int32 decode path padded to the 8-byte grid. The engine-level
+ * encode/decode helpers live in engine/result_sink.hh; this layer
+ * only defines the record layout and validates it.
+ *
  * ShardWriter streams records to disk (O(record) memory, CRC
  * accumulated incrementally); ShardReader memory-maps a file,
  * validates header fields against the file size and the payload
@@ -31,9 +43,11 @@
 #ifndef PSTAT_IO_SHARD_HH
 #define PSTAT_IO_SHARD_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -64,6 +78,46 @@ enum class ShardPayload : uint32_t
 {
     Columns = 1,   //!< PBD alignment columns (N, K, probabilities)
     Sequences = 2, //!< HMM observation sequences (int32 symbols)
+    Results = 3,   //!< evaluation results (values, flags, decodes)
+};
+
+/**
+ * @name Result-record flag bits
+ * The `flags` word of one Results record. The value-kind bits
+ * (negative / zero / nan) encode the BigFloat kind losslessly; the
+ * others carry the engine's per-result bookkeeping. Readers reject
+ * unknown bits at open time so a future flag can never be silently
+ * dropped by an old binary.
+ */
+///@{
+inline constexpr uint32_t result_flag_invalid = 1u << 0;   //!< NaR / NaN result
+inline constexpr uint32_t result_flag_underflow = 1u << 1; //!< computed exactly 0
+inline constexpr uint32_t result_flag_negative = 1u << 2;  //!< value sign bit
+inline constexpr uint32_t result_flag_zero = 1u << 3;      //!< value is exact zero
+inline constexpr uint32_t result_flag_nan = 1u << 4;       //!< value is NaN
+inline constexpr uint32_t result_flag_skipped = 1u << 5;   //!< screen-skipped slot
+inline constexpr uint32_t result_flag_certified = 1u << 6; //!< adaptively certified
+/** Every bit a valid record may set; readers reject the rest. */
+inline constexpr uint32_t result_flag_mask = 0x7fu;
+///@}
+
+/**
+ * One Results-payload record, as written and as read (the path span
+ * borrows the writer's argument or the reader's mapping). The value
+ * is a sign + base-2 exponent + 256-bit normalized mantissa — the
+ * lossless BigFloat decomposition — with all-zero exp/limbs (and the
+ * zero or nan flag) for the non-finite kinds. `aux` carries the
+ * kernel's side channel (first_underflow_step for decodes; 0
+ * otherwise), and `path` the Viterbi state sequence (empty for the
+ * scalar kernels).
+ */
+struct ShardResultRecord
+{
+    uint32_t flags = 0;             //!< result_flag_* bits
+    int64_t exp = 0;                //!< BigFloat exponent (finite nonzero)
+    std::array<uint64_t, 4> limbs{}; //!< mantissa, top bit of limbs[3] set
+    int32_t aux = 0;                //!< kernel side channel
+    std::span<const int> path;      //!< decode path (may be empty)
 };
 
 /** The on-disk magic, first 8 bytes of every shard file. */
@@ -110,6 +164,14 @@ class ShardWriter
   public:
     /** Opens (truncates) `path` for a shard of the given payload. */
     ShardWriter(std::string path, ShardPayload payload);
+    /**
+     * Opens (truncates) `path` for a Results shard, writing the meta
+     * block (kernel tag + producing format id, at most
+     * shard_result_id_max bytes) immediately. The kernel tag is
+     * opaque to this layer (the engine writes its PlanKernel value).
+     */
+    ShardWriter(std::string path, uint32_t result_kernel,
+                const std::string &format_id);
     /** Best-effort close; prefer close() to observe I/O errors. */
     ~ShardWriter();
 
@@ -122,6 +184,14 @@ class ShardWriter
     void add(const pbd::Column &column) { add(column.view()); }
     /** Append one observation sequence (Sequences shards only). */
     void addSequence(std::span<const int> obs);
+    /**
+     * Append one result record (Results shards only). Throws
+     * std::logic_error on a malformed record — unknown flag bits, a
+     * denormalized finite mantissa, or a non-canonical (nonzero
+     * exp/limbs) zero/NaN encoding — so a file this writer closes
+     * always re-opens cleanly.
+     */
+    void addResult(const ShardResultRecord &record);
 
     /** Records appended so far. */
     size_t items() const { return items_; }
@@ -191,6 +261,22 @@ class ShardReader
      */
     std::span<const int> sequence(size_t i) const;
 
+    /**
+     * Result record `i` (Results shards; asserts the payload kind
+     * and bounds). The path span points into the mapping.
+     */
+    ShardResultRecord result(size_t i) const;
+
+    /** The kernel tag of a Results shard (asserts the payload kind). */
+    uint32_t resultKernel() const;
+
+    /**
+     * The producing format id of a Results shard (asserts the
+     * payload kind). May be a composite label (adaptive runs mix
+     * tiers) rather than a single registry id.
+     */
+    const std::string &resultFormatId() const;
+
     /** An owning copy of column `i`, for callers that outlive us. */
     pbd::Column materializeColumn(size_t i) const;
 
@@ -204,7 +290,24 @@ class ShardReader
     size_t mapped_bytes_ = 0;
     const unsigned char *base_ = nullptr; //!< mapping base (or null)
     std::vector<size_t> offsets_; //!< record offsets into the payload
+    uint32_t result_kernel_ = 0;  //!< Results meta: kernel tag
+    std::string result_format_id_; //!< Results meta: format id
 };
+
+/** Longest format id the Results meta block accepts. */
+inline constexpr size_t shard_result_id_max = 256;
+
+/** Fixed bytes of one Results record before its path entries. */
+inline constexpr size_t shard_result_record_bytes = 56;
+
+/**
+ * The payload tag of `path`, read from the header alone (no mapping,
+ * no CRC). Empty optional when the file is unreadable, too short, or
+ * not a shard at all — callers that need those diagnosed should open
+ * a full ShardReader and let it report. The tag is returned only
+ * when it is a known ShardPayload value.
+ */
+std::optional<ShardPayload> peekShardPayload(const std::string &path);
 
 /** One-shot convenience: write every column as one shard file. */
 void writeColumnShard(const std::string &path,

@@ -1,0 +1,370 @@
+// Sink layer contracts: accumulation parity, tally counters, tee
+// fan-out, the lossless result-shard round trip for every registered
+// format (the file-sink acceptance criterion), and writer/reader
+// rejection of malformed result records.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/escalate.hh"
+#include "engine/eval_engine.hh"
+#include "engine/format_registry.hh"
+#include "engine/result_sink.hh"
+#include "hmm/generator.hh"
+#include "io/shard.hh"
+#include "pbd/dataset.hh"
+
+namespace
+{
+
+using namespace pstat;
+using namespace pstat::engine;
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+std::vector<pbd::Column>
+makeColumns(int n, uint64_t seed)
+{
+    pbd::DatasetConfig config;
+    config.num_columns = n;
+    config.median_coverage = 55.0;
+    config.coverage_sigma = 0.4;
+    config.variant_fraction = 0.2;
+    config.seed = seed;
+    return pbd::makeDataset(config, "sink").columns;
+}
+
+/** Exact equality of two evaluation results (value bits + flags). */
+void
+expectSameResult(const EvalResult &got, const EvalResult &want,
+                 const std::string &label)
+{
+    // NaN never compares equal to itself; its kind bit is the
+    // round-trip contract there.
+    if (!want.value.isNaN()) {
+        EXPECT_TRUE(got.value == want.value) << label;
+    }
+    EXPECT_EQ(got.value.isZero(), want.value.isZero()) << label;
+    EXPECT_EQ(got.value.isNaN(), want.value.isNaN()) << label;
+    EXPECT_EQ(got.invalid, want.invalid) << label;
+    EXPECT_EQ(got.underflow, want.underflow) << label;
+}
+
+TEST(ResultSink, AccumulateConcatenatesBlocksInOrder)
+{
+    PlanRun run;
+    AccumulateSink sink(run);
+    WorkBlock block;
+    std::vector<EvalResult> first(2), second(3);
+    first[0].value = BigFloat::twoPow(-4);
+    first[1].value = BigFloat::twoPow(-8);
+    second[0].value = BigFloat::twoPow(-16);
+    second[1].invalid = true;
+    second[2].underflow = true;
+    block.items = first.size();
+    sink.consumeResults(block, first);
+    block.index = 1;
+    block.items = second.size();
+    sink.consumeResults(block, second);
+    sink.finish();
+    ASSERT_EQ(run.results.size(), 5u);
+    expectSameResult(run.results[0], first[0], "slot 0");
+    expectSameResult(run.results[2], second[0], "slot 2");
+    EXPECT_TRUE(run.results[3].invalid);
+    EXPECT_TRUE(run.results[4].underflow);
+}
+
+TEST(ResultSink, BaseSinkRejectsUnimplementedChannels)
+{
+    PlanRun run;
+    AccumulateSink accumulate(run);
+    // ShardFileSink has no posterior channel; the base must throw
+    // rather than drop the delivery.
+    const std::string path = tempPath("sink-nochannel.shard");
+    ShardFileSink sink(path, PlanKernel::PValue, "binary64");
+    WorkBlock block;
+    std::vector<PosteriorResult> posteriors(1);
+    EXPECT_THROW(sink.consumePosteriors(block, posteriors),
+                 std::logic_error);
+}
+
+TEST(ResultSink, TallyCountsWithoutStoring)
+{
+    std::vector<EvalResult> results(5);
+    results[0].value = BigFloat::twoPow(-4);
+    results[1].value = BigFloat::twoPow(-100);
+    results[2].value = BigFloat::zero();
+    results[2].underflow = true;
+    results[3].value = BigFloat::nan();
+    results[3].invalid = true;
+    results[4].value = BigFloat::twoPow(-12);
+
+    TallySink sink(BigFloat::twoPow(-10)); // call threshold 2^-10
+    WorkBlock block;
+    block.items = results.size();
+    sink.consumeResults(block, results);
+    sink.finish();
+
+    const SinkTally &tally = sink.tally();
+    EXPECT_EQ(tally.items, 5u);
+    EXPECT_EQ(tally.invalid, 1u);
+    EXPECT_EQ(tally.underflows, 1u);
+    EXPECT_EQ(tally.skipped, 0u);
+    // 2^-100, the underflowed zero (exact zero is finite), and
+    // 2^-12 all fall strictly below 2^-10.
+    EXPECT_EQ(tally.below_threshold, 3u);
+    ASSERT_TRUE(tally.min_log2.has_value());
+    ASSERT_TRUE(tally.max_log2.has_value());
+    EXPECT_DOUBLE_EQ(*tally.min_log2, -100.0);
+    EXPECT_DOUBLE_EQ(*tally.max_log2, -4.0);
+}
+
+TEST(ResultSink, TeeFansOutToEverySink)
+{
+    PlanRun a, b;
+    AccumulateSink first(a), second(b);
+    TeeSink tee({&first, &second});
+    std::vector<EvalResult> results(3);
+    results[1].value = BigFloat::twoPow(-2);
+    WorkBlock block;
+    block.items = results.size();
+    tee.consumeResults(block, results);
+    tee.finish();
+    ASSERT_EQ(a.results.size(), 3u);
+    ASSERT_EQ(b.results.size(), 3u);
+    expectSameResult(a.results[1], b.results[1], "tee slot 1");
+}
+
+TEST(ResultSink, RecordEncodingRoundTripsEveryValueKind)
+{
+    std::vector<EvalResult> samples(4);
+    samples[0].value = BigFloat::twoPow(-1234);
+    samples[1].value = BigFloat::zero();
+    samples[1].underflow = true;
+    samples[2].value = BigFloat::nan();
+    samples[2].invalid = true;
+    samples[3].value =
+        BigFloat::twoPow(7) - BigFloat::twoPow(-300); // long mantissa
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const io::ShardResultRecord record =
+            encodeResultRecord(samples[i]);
+        const EvalResult back = decodeResultValue(record);
+        expectSameResult(back, samples[i],
+                         "sample " + std::to_string(i));
+    }
+    // Negative values keep their sign bit.
+    EvalResult negative;
+    negative.value = BigFloat::zero() - BigFloat::twoPow(-9);
+    ASSERT_TRUE(negative.value.isNegative());
+    const EvalResult back =
+        decodeResultValue(encodeResultRecord(negative));
+    EXPECT_TRUE(back.value == negative.value);
+    EXPECT_TRUE(back.value.isNegative());
+}
+
+// The acceptance criterion: for every registered format, the shard
+// written by the file sink reads back values bit-identical to what
+// the accumulate sink observed.
+TEST(ResultSink, FileSinkRoundTripsEveryRegisteredFormat)
+{
+    const auto columns = makeColumns(24, 2026);
+    EvalEngine engine(4);
+    for (const FormatOps *format :
+         FormatRegistry::instance().all()) {
+        const auto want = engine.pvalueBatch(*format, columns,
+                                             SumPolicy::Plain);
+
+        const std::string path =
+            tempPath("sink-rt-" + format->id() + ".shard");
+        ShardFileSink sink(path, PlanKernel::PValue, format->id());
+        WorkBlock block;
+        block.items = want.size();
+        sink.consumeResults(block, want);
+        sink.finish();
+        EXPECT_EQ(sink.written(), want.size());
+
+        const ResultShardData data = readResultShard(path);
+        EXPECT_EQ(data.kernel, PlanKernel::PValue) << format->id();
+        EXPECT_EQ(data.format_id, format->id());
+        ASSERT_EQ(data.results.size(), want.size()) << format->id();
+        for (size_t i = 0; i < want.size(); ++i)
+            expectSameResult(data.results[i], want[i],
+                             format->id() + " record " +
+                                 std::to_string(i));
+    }
+}
+
+TEST(ResultSink, FileSinkPersistsScreenedMasks)
+{
+    const auto columns = makeColumns(30, 555);
+    EvalEngine engine(2);
+    const auto &format = FormatRegistry::instance().at("log");
+    pbd::ScreenConfig config;
+    config.guard_band_log2 = 16.0;
+    const auto batch = engine.pvalueScreenedBatch(
+        format, columns, config, SumPolicy::Plain);
+
+    const std::string path = tempPath("sink-screened.shard");
+    ShardFileSink sink(path, PlanKernel::PValue, format.id());
+    WorkBlock block;
+    block.items = batch.results.size();
+    sink.consumeScreened(block, batch);
+    sink.finish();
+
+    const ResultShardData data = readResultShard(path);
+    ASSERT_EQ(data.results.size(), batch.results.size());
+    ASSERT_EQ(data.skipped.size(), batch.skipped.size());
+    EXPECT_EQ(data.skipped, batch.skipped);
+    for (size_t i = 0; i < batch.results.size(); ++i)
+        expectSameResult(data.results[i], batch.results[i],
+                         "screened record " + std::to_string(i));
+}
+
+TEST(ResultSink, FileSinkPersistsAdaptiveCertification)
+{
+    const auto columns = makeColumns(16, 777);
+    EvalEngine engine(2);
+    const Ladder &ladder = defaultLadder();
+    CertConfig cert;
+    cert.tol_rel_log2 = -20.0;
+    const auto batch = engine.pvalueAdaptiveBatch(
+        ladder, columns, cert, std::nullopt, SumPolicy::Plain);
+
+    const std::string path = tempPath("sink-adaptive.shard");
+    ShardFileSink sink(path, PlanKernel::PValue, "adaptive");
+    WorkBlock block;
+    block.items = batch.results.size();
+    sink.consumeAdaptive(block, batch);
+    sink.finish();
+
+    const ResultShardData data = readResultShard(path);
+    ASSERT_EQ(data.results.size(), batch.results.size());
+    ASSERT_EQ(data.certified.size(), batch.results.size());
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+        EXPECT_EQ(data.certified[i] != 0, batch.results[i].certified)
+            << "record " << i;
+        expectSameResult(data.results[i], batch.results[i].result,
+                         "adaptive record " + std::to_string(i));
+    }
+}
+
+TEST(ResultSink, FileSinkRoundTripsViterbiDecodes)
+{
+    stats::Rng rng(31);
+    const hmm::Model model = hmm::makeDirichletModel(rng, 4, 5);
+    std::vector<std::vector<int>> sequences;
+    std::vector<ForwardJob> jobs;
+    for (int i = 0; i < 5; ++i)
+        sequences.push_back(
+            hmm::sampleObservations(rng, model, 12 + 2 * i));
+    for (const auto &seq : sequences)
+        jobs.push_back({&model, seq});
+
+    EvalEngine engine(2);
+    const auto &format = FormatRegistry::instance().at("log");
+    const auto want = engine.viterbiBatch(format, jobs);
+
+    const std::string path = tempPath("sink-viterbi.shard");
+    ShardFileSink sink(path, PlanKernel::Viterbi, format.id());
+    WorkBlock block;
+    block.items = want.size();
+    sink.consumeDecodes(block, want);
+    sink.finish();
+
+    const ResultShardData data = readResultShard(path);
+    EXPECT_EQ(data.kernel, PlanKernel::Viterbi);
+    EXPECT_TRUE(data.results.empty());
+    ASSERT_EQ(data.decodes.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(data.decodes[i].path, want[i].path) << i;
+        EXPECT_EQ(data.decodes[i].first_underflow_step,
+                  want[i].first_underflow_step);
+        expectSameResult(data.decodes[i].probability,
+                         want[i].probability,
+                         "decode " + std::to_string(i));
+    }
+}
+
+TEST(ResultSink, RunTeesTheBoundResultSinkIntoThePlan)
+{
+    const auto columns = makeColumns(12, 909);
+    EvalEngine engine(2);
+    EvalPlan plan;
+    plan.kernel = PlanKernel::PValue;
+    plan.source = PlanSource::Memory;
+    plan.policy = PlanPolicy::Fixed;
+    plan.format_id = "binary64";
+
+    const std::string path = tempPath("sink-run-tee.shard");
+    ShardFileSink file(path, plan.kernel, plan.format_id);
+    PlanInputs inputs;
+    inputs.columns = columns;
+    inputs.result_sink = &file;
+    const PlanRun run = engine.run(plan, inputs);
+
+    const ResultShardData data = readResultShard(path);
+    ASSERT_EQ(data.results.size(), run.results.size());
+    for (size_t i = 0; i < run.results.size(); ++i)
+        expectSameResult(data.results[i], run.results[i],
+                         "teed record " + std::to_string(i));
+}
+
+TEST(ResultSink, WriterRejectsMalformedRecords)
+{
+    // Unknown flag bits.
+    {
+        io::ShardWriter writer(tempPath("sink-badflags.shard"), 1,
+                               "binary64");
+        io::ShardResultRecord record;
+        record.flags = io::result_flag_zero | (1u << 9);
+        EXPECT_THROW(writer.addResult(record), std::logic_error);
+    }
+    // A finite value whose mantissa is not normalized.
+    {
+        io::ShardWriter writer(tempPath("sink-denorm.shard"), 1,
+                               "binary64");
+        io::ShardResultRecord record;
+        record.exp = 1;
+        record.limbs = {1, 0, 0, 0}; // top bit of limbs[3] clear
+        EXPECT_THROW(writer.addResult(record), std::logic_error);
+    }
+    // A zero-flagged record with nonzero exponent.
+    {
+        io::ShardWriter writer(tempPath("sink-badzero.shard"), 1,
+                               "binary64");
+        io::ShardResultRecord record;
+        record.flags = io::result_flag_zero;
+        record.exp = 5;
+        EXPECT_THROW(writer.addResult(record), std::logic_error);
+    }
+}
+
+TEST(ResultSink, ReaderRejectsForeignKernelTagsAndPayloads)
+{
+    // A structurally valid Results shard whose kernel tag is not a
+    // PlanKernel value must be rejected by the engine-level reader.
+    const std::string bad_kernel = tempPath("sink-badkernel.shard");
+    {
+        io::ShardWriter writer(bad_kernel, 99, "binary64");
+        EvalResult one;
+        one.value = BigFloat::twoPow(-3);
+        writer.addResult(encodeResultRecord(one));
+        writer.close();
+    }
+    EXPECT_THROW(readResultShard(bad_kernel), io::ShardError);
+
+    // A Columns shard is not a result shard at all.
+    const std::string columns_path = tempPath("sink-columns.shard");
+    io::writeColumnShard(columns_path, makeColumns(3, 1));
+    EXPECT_THROW(readResultShard(columns_path), io::ShardError);
+}
+
+} // namespace

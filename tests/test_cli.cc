@@ -393,4 +393,140 @@ TEST(Cli, AdaptiveEvalRunsAndReportsTiers)
     EXPECT_NE(out.find("tier binary64"), std::string::npos);
 }
 
+TEST(Cli, EvalWritesAndInfoPrintsAResultShard)
+{
+    const std::string path = makeShard("cli_out_in.shard");
+    const std::string out_path =
+        ::testing::TempDir() + "cli_out_results.shard";
+    std::string out;
+    EXPECT_EQ(runCli({"eval", "--format", "log", "-o",
+                      out_path.c_str(), path.c_str()},
+                     &out),
+              0);
+    EXPECT_NE(out.find("wrote " + out_path + ": 60 result records"),
+              std::string::npos);
+
+    // info validates and pretty-prints the Results payload.
+    out.clear();
+    EXPECT_EQ(runCli({"info", out_path.c_str()}, &out), 0);
+    EXPECT_NE(out.find("results, 60 records"), std::string::npos);
+    EXPECT_NE(out.find("kernel pvalue"), std::string::npos);
+    EXPECT_NE(out.find("format log"), std::string::npos);
+    EXPECT_NE(out.find("|v| in 2^"), std::string::npos);
+    EXPECT_NE(out.find("flags:"), std::string::npos);
+}
+
+TEST(Cli, EvalRejectsAResultShardAsInput)
+{
+    const std::string path = makeShard("cli_reject_in.shard");
+    const std::string out_path =
+        ::testing::TempDir() + "cli_reject_results.shard";
+    ASSERT_EQ(runCli({"eval", "--format", "log", "-o",
+                      out_path.c_str(), path.c_str()}),
+              0);
+
+    // Feeding the output shard back in is a usage error (exit 2)
+    // diagnosed before any evaluation starts.
+    std::string err;
+    EXPECT_EQ(runCli({"eval", "--format", "log", out_path.c_str()},
+                     nullptr, &err),
+              2);
+    EXPECT_NE(err.find("holds result records"), std::string::npos);
+
+    // Same guard on a --plan-file replay pointed at the wrong data.
+    const std::string plan_path =
+        ::testing::TempDir() + "cli_reject_plan.bin";
+    ASSERT_EQ(runCli({"eval", "--format", "log", "--plan-dump",
+                      plan_path.c_str(), path.c_str()}),
+              0);
+    err.clear();
+    EXPECT_EQ(runCli({"eval", "--plan-file", plan_path.c_str(),
+                      out_path.c_str()},
+                     nullptr, &err),
+              2);
+    EXPECT_NE(err.find("holds result records"), std::string::npos);
+}
+
+TEST(Cli, PlanFileReplayComposesWithOut)
+{
+    const std::string path = makeShard("cli_plan_out.shard");
+    const std::string plan_path =
+        ::testing::TempDir() + "cli_plan_out.bin";
+    ASSERT_EQ(runCli({"eval", "--format", "log", "--plan-dump",
+                      plan_path.c_str(), path.c_str()}),
+              0);
+    // --out is a runtime binding, not plan configuration, so it must
+    // not trip the replay's conflicting-flags guard.
+    const std::string out_path =
+        ::testing::TempDir() + "cli_plan_out_results.shard";
+    std::string out;
+    EXPECT_EQ(runCli({"eval", "--plan-file", plan_path.c_str(), "-o",
+                      out_path.c_str(), path.c_str()},
+                     &out),
+              0);
+    EXPECT_NE(out.find("wrote " + out_path), std::string::npos);
+}
+
+TEST(Cli, ScreenPersistsSkippedFlagsInTheResultShard)
+{
+    const std::string path = makeShard("cli_screen_out.shard");
+    const std::string out_path =
+        ::testing::TempDir() + "cli_screen_results.shard";
+    std::string out;
+    EXPECT_EQ(runCli({"screen", "--format", "log", "-o",
+                      out_path.c_str(), path.c_str()},
+                     &out),
+              0);
+    EXPECT_NE(out.find("wrote " + out_path), std::string::npos);
+
+    out.clear();
+    EXPECT_EQ(runCli({"info", out_path.c_str()}, &out), 0);
+    // The screen skips most columns of this dataset; the skipped
+    // count in the flags line must be nonzero (not "0 skipped").
+    EXPECT_NE(out.find("skipped"), std::string::npos);
+    EXPECT_EQ(out.find(" 0 skipped"), std::string::npos);
+}
+
+TEST(Cli, QueueCapEnvIsStrictlyParsed)
+{
+    const std::string path = makeShard("cli_queuecap.shard");
+    const std::string plan_path =
+        ::testing::TempDir() + "cli_queuecap_plan.bin";
+
+    // A valid override lands in the built plan.
+    ::setenv("PSTAT_QUEUE_CAP", "7", 1);
+    std::string out;
+    EXPECT_EQ(runCli({"eval", "--format", "log", "--plan-dump",
+                      plan_path.c_str(), path.c_str()},
+                     &out),
+              0);
+    ::unsetenv("PSTAT_QUEUE_CAP");
+    engine::EvalPlan plan = engine::readPlanFile(plan_path);
+    EXPECT_EQ(plan.queue_capacity, 7u);
+
+    // Garbage and non-positive values warn and keep the default 2;
+    // an explicit --queue always wins over the env knob.
+    for (const char *bad : {"banana", "0", "-3", "2x"}) {
+        ::setenv("PSTAT_QUEUE_CAP", bad, 1);
+        std::string err;
+        EXPECT_EQ(runCli({"eval", "--format", "log", "--plan-dump",
+                          plan_path.c_str(), path.c_str()},
+                         nullptr, &err),
+                  0)
+            << bad;
+        EXPECT_NE(err.find("ignoring invalid PSTAT_QUEUE_CAP"),
+                  std::string::npos)
+            << bad;
+        plan = engine::readPlanFile(plan_path);
+        EXPECT_EQ(plan.queue_capacity, 2u) << bad;
+    }
+    ::setenv("PSTAT_QUEUE_CAP", "9", 1);
+    EXPECT_EQ(runCli({"eval", "--format", "log", "--queue", "3",
+                      "--plan-dump", plan_path.c_str(), path.c_str()}),
+              0);
+    ::unsetenv("PSTAT_QUEUE_CAP");
+    plan = engine::readPlanFile(plan_path);
+    EXPECT_EQ(plan.queue_capacity, 3u);
+}
+
 } // namespace

@@ -94,6 +94,90 @@ TEST(ShardStream, BoundedQueueBlocksProducerAtCapacity)
     EXPECT_EQ(queue.peakDepth(), 1u);
 }
 
+TEST(ShardStream, BoundedQueueClampsCapacityZeroToOne)
+{
+    // Capacity 0 would deadlock producer and consumer forever; the
+    // queue clamps it to the smallest functional bound instead.
+    io::BoundedQueue<int> queue(0);
+    EXPECT_EQ(queue.capacity(), 1u);
+    EXPECT_TRUE(queue.push(1));
+    EXPECT_EQ(queue.pop(), std::optional<int>(1));
+}
+
+TEST(ShardStream, BoundedQueueCloseWakesABlockedConsumer)
+{
+    io::BoundedQueue<int> queue(1);
+    std::thread consumer([&] {
+        // Blocks on the empty queue until close() wakes it; a
+        // closed-and-drained queue pops nullopt, not a value.
+        EXPECT_EQ(queue.pop(), std::nullopt);
+    });
+    queue.close();
+    consumer.join();
+}
+
+TEST(ShardStream, BoundedQueueCloseWakesABlockedProducer)
+{
+    io::BoundedQueue<int> queue(1);
+    EXPECT_TRUE(queue.push(1)); // fill to capacity
+    std::thread producer([&] {
+        // Parked on the full queue; close() must refuse the push
+        // (returning false) rather than leave it blocked forever.
+        EXPECT_FALSE(queue.push(2));
+    });
+    queue.close();
+    producer.join();
+    EXPECT_EQ(queue.pop(), std::optional<int>(1)); // drains
+    EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(ShardStream, CapacityOneStillDeliversEveryShardInOrder)
+{
+    // The tightest legal bound: the producer parks after every
+    // shard, so each pop alternates with exactly one load.
+    const auto paths = writeColumnShards("cap1", 5, 4);
+    io::ShardStreamConfig config;
+    config.queue_capacity = 1;
+    io::ShardStream stream(paths, config);
+    size_t seen = 0;
+    while (auto shard = stream.next()) {
+        EXPECT_EQ(shard->path(), paths[seen]);
+        ++seen;
+    }
+    EXPECT_EQ(seen, paths.size());
+    EXPECT_EQ(stream.peakQueueDepth(), 1u);
+}
+
+TEST(ShardStream, ProducerErrorWhileParkedOnAFullQueue)
+{
+    // The producer hits the missing file while the consumer still
+    // holds the queue full: the whole valid prefix must arrive in
+    // order first, and only then the error.
+    auto paths = writeColumnShards("fullerr", 2, 4);
+    paths.push_back(tempPath("fullerr-missing.shard"));
+
+    io::ShardStreamConfig config;
+    config.queue_capacity = 1;
+    io::ShardStream stream(paths, config);
+    for (size_t i = 0; i < 2; ++i) {
+        auto shard = stream.next();
+        ASSERT_TRUE(shard.has_value());
+        EXPECT_EQ(shard->path(), paths[i]);
+    }
+    EXPECT_THROW(stream.next(), io::ShardError);
+}
+
+TEST(ShardStream, DroppingAnErroredStreamJoinsTheProducer)
+{
+    // Error surfaced, consumer walks away: the destructor must still
+    // join cleanly (no rethrow, no deadlock on the dead producer).
+    auto paths = writeColumnShards("errdrop", 1, 4);
+    paths.push_back(tempPath("errdrop-missing.shard"));
+    io::ShardStream stream(paths);
+    ASSERT_TRUE(stream.next().has_value());
+    EXPECT_THROW(stream.next(), io::ShardError);
+}
+
 TEST(ShardStream, DeliversEveryShardInPathOrder)
 {
     const auto paths = writeColumnShards("order", 5, 8);

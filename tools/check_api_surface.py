@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""API-surface guard: keep EvalEngine's evaluation surface closed.
+"""API-surface guard: keep the engine's evaluation surface closed.
 
 The evaluation pipeline converged on one entry point —
 EvalEngine::run(const EvalPlan&) — with the historical *Batch /
@@ -7,8 +7,15 @@ EvalEngine::run(const EvalPlan&) — with the historical *Batch /
 docs/ARCHITECTURE.md, "Evaluation plans"). The easy way to erode
 that is to add "just one more" ad-hoc public batch method instead of
 extending EvalPlan. This script fails CI when a public *Batch or
-*Stream declaration appears in src/engine/eval_engine.hh outside the
-frozen wrapper allowlist.
+*Stream declaration appears in a guarded runtime header outside that
+header's frozen allowlist.
+
+Since the layered-runtime split, the guard covers the whole
+src/engine runtime surface: eval_engine.hh keeps the legacy wrapper
+allowlist, while the layer headers (executor.hh, job_source.hh,
+result_sink.hh) have empty allowlists — the layers compose through
+run(), so a *Batch/*Stream entry point appearing on any of them is
+exactly the erosion this tripwire exists to catch.
 
 Parsing is deliberately dumb (regex over access-specifier sections,
 comments stripped), which is exactly right for a tripwire: it needs
@@ -17,7 +24,8 @@ one-line allowlist edit away — with a reviewer looking at it, which
 is the point.
 
 Usage:
-  tools/check_api_surface.py [--header PATH]
+  tools/check_api_surface.py            # check every guarded header
+  tools/check_api_surface.py --header PATH
   tools/check_api_surface.py --self-test
 """
 
@@ -25,8 +33,8 @@ import argparse
 import re
 import sys
 
-# The frozen public surface. Three groups, all wrappers or
-# measurement helpers around run():
+# The frozen public surface of eval_engine.hh. Three groups, all
+# wrappers or measurement helpers around run():
 #   - legacy evaluation wrappers (build a plan, delegate to run)
 #   - oracle batches (the BigFloat measurement surface)
 #   - grainForBatch (a scheduling introspection knob, not evaluation)
@@ -53,13 +61,23 @@ ALLOWED = frozenset({
     "grainForBatch",
 })
 
+# Every guarded header and its allowlist. The layer headers allow
+# nothing: their public surfaces are the layer interfaces (next(),
+# consume*(), parallelFor*), never named evaluation entry points.
+GUARDED = {
+    "src/engine/eval_engine.hh": ALLOWED,
+    "src/engine/executor.hh": frozenset(),
+    "src/engine/job_source.hh": frozenset(),
+    "src/engine/result_sink.hh": frozenset(),
+}
+
 DECL_RE = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*(?:Batch|Stream))\s*\(")
 ACCESS_RE = re.compile(r"^\s*(public|protected|private)\s*:")
 
 
 def strip_comments(text):
     """Remove // and /* */ comments (naive, no string literals in
-    this header's declarations to trip over)."""
+    these headers' declarations to trip over)."""
     text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
     return re.sub(r"//[^\n]*", "", text)
 
@@ -82,10 +100,28 @@ def public_decls(text):
     return decls
 
 
-def check(text):
+def check(text, allowed=ALLOWED):
     """Offending (line, name) pairs — public decls off the allowlist."""
     return [(line, name) for line, name in public_decls(text)
-            if name not in ALLOWED]
+            if name not in allowed]
+
+
+def check_header(path, allowed):
+    """Check one header file; prints the verdict, returns 0/1."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    offenders = check(text, allowed)
+    if offenders:
+        for line, name in offenders:
+            print(f"FAIL {path}:{line}: new public entry "
+                  f"point {name}() — extend EvalPlan and "
+                  f"EvalEngine::run instead (or, if this is a "
+                  f"deliberate API decision, add it to the "
+                  f"allowlist in tools/check_api_surface.py)")
+        return 1
+    print(f"ok   {path}: public evaluation surface is "
+          f"frozen ({len(allowed)} allowlisted entry points)")
+    return 0
 
 
 def self_test():
@@ -137,35 +173,60 @@ class AccuracyTally
     assert [name for _, name in check(reopened)] == [
         "turboTallyStream"], check(reopened)
 
+    # The layer headers run under an empty allowlist: their current
+    # surfaces (virtual next()/consume*/parallelFor shapes) must
+    # pass, and even a formerly-allowlisted wrapper name trips them.
+    layer = """
+class JobSource
+{
+  public:
+    virtual std::optional<WorkBlock> next() = 0;
+    virtual StreamStats stats() const { return {}; }
+};
+"""
+    assert check(layer, frozenset()) == [], check(layer, frozenset())
+    leaked = layer + """
+class ResultSink
+{
+  public:
+    StreamStats pvalueStream(const FormatOps &format);
+};
+"""
+    assert [name for _, name in check(leaked, frozenset())] == [
+        "pvalueStream"], check(leaked, frozenset())
+
+    # Sanity: every guarded header must actually exist in the tree
+    # (a renamed header silently un-guards itself otherwise).
+    import os
+    here = os.path.dirname(os.path.abspath(__file__))
+    for path in GUARDED:
+        full = os.path.join(here, "..", path)
+        assert os.path.exists(full), f"guarded header missing: {path}"
+
     print("self-test ok")
     return 0
 
 
 def main():
     parser = argparse.ArgumentParser(
-        description="fail when eval_engine.hh grows a public "
-                    "*Batch/*Stream entry point off the allowlist")
-    parser.add_argument("--header",
-                        default="src/engine/eval_engine.hh")
+        description="fail when a guarded runtime header grows a "
+                    "public *Batch/*Stream entry point off its "
+                    "allowlist")
+    parser.add_argument("--header", default=None,
+                        help="check only this header (default: all "
+                             "guarded headers)")
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
     if args.self_test:
         return self_test()
 
-    with open(args.header, encoding="utf-8") as f:
-        text = f.read()
-    offenders = check(text)
-    if offenders:
-        for line, name in offenders:
-            print(f"FAIL {args.header}:{line}: new public entry "
-                  f"point {name}() — extend EvalPlan and "
-                  f"EvalEngine::run instead (or, if this is a "
-                  f"deliberate API decision, add it to ALLOWED in "
-                  f"tools/check_api_surface.py)")
-        return 1
-    print(f"ok   {args.header}: public evaluation surface is "
-          f"frozen ({len(ALLOWED)} allowlisted entry points)")
-    return 0
+    if args.header is not None:
+        allowed = GUARDED.get(args.header, ALLOWED)
+        return check_header(args.header, allowed)
+    status = 0
+    for path, allowed in GUARDED.items():
+        status |= check_header(path, allowed)
+    return status
 
 
 if __name__ == "__main__":
