@@ -85,8 +85,15 @@ main()
 
     const auto sum_policy = engine::defaultSumPolicy();
     for (size_t f = 0; f < series.size(); ++f) {
-        const auto results = engine.pvalueBatch(
-            *series[f].format, dataset.columns, sum_policy);
+        engine::EvalPlan plan;
+        plan.kernel = engine::PlanKernel::PValue;
+        plan.format_id = series[f].format->id();
+        plan.sum = sum_policy == engine::SumPolicy::Compensated
+                       ? engine::PlanSum::Compensated
+                       : engine::PlanSum::Plain;
+        engine::PlanInputs inputs;
+        inputs.columns = dataset.columns;
+        const auto results = engine.run(plan, inputs).results;
         for (size_t i = 0; i < results.size(); ++i)
             tallies[f].add(oracles[i], results[i]);
     }

@@ -72,9 +72,13 @@ tallyPosterior(engine::EvalEngine &engine, const Series &series,
 {
     engine::AccuracyTally tally(series.label,
                                 series.format->rangeFloorLog2());
-    const auto results = engine.posteriorBatch(
-        *series.format, jobs, engine::Dataflow::Accelerator,
-        renormalize);
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::Posterior;
+    plan.format_id = series.format->id();
+    plan.renormalize = renormalize;
+    engine::PlanInputs inputs;
+    inputs.jobs = jobs;
+    const auto results = engine.run(plan, inputs).posteriors;
     for (size_t i = 0; i < results.size(); ++i) {
         for (size_t k = 0; k < results[i].gamma.size(); ++k)
             tally.add(oracle_gammas[i][k], results[i].gamma[k]);
@@ -87,8 +91,12 @@ bool
 batchedMatchesSerial(engine::EvalEngine &engine, const Series &series,
                      std::span<const engine::ForwardJob> jobs)
 {
-    const auto batched = engine.posteriorBatch(
-        *series.format, jobs.subspan(0, 1));
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::Posterior;
+    plan.format_id = series.format->id();
+    engine::PlanInputs inputs;
+    inputs.jobs = jobs.subspan(0, 1);
+    const auto batched = engine.run(plan, inputs).posteriors;
     const auto serial = series.format->hmmPosterior(
         *jobs[0].model, jobs[0].obs, engine::Dataflow::Accelerator,
         false);
@@ -186,8 +194,12 @@ runSetting(engine::EvalEngine &engine, const char *label,
     std::printf("\nViterbi path agreement vs oracle "
                 "(%% positions, + sequences whose delta flushed):\n");
     for (size_t f = 0; f < series.size(); ++f) {
-        const auto paths =
-            engine.viterbiBatch(*series[f].format, jobs);
+        engine::EvalPlan vit_plan;
+        vit_plan.kernel = engine::PlanKernel::Viterbi;
+        vit_plan.format_id = series[f].format->id();
+        engine::PlanInputs vit_inputs;
+        vit_inputs.jobs = jobs;
+        const auto paths = engine.run(vit_plan, vit_inputs).decodes;
         size_t agree = 0;
         size_t total = 0;
         int flushed = 0;

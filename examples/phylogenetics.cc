@@ -82,9 +82,18 @@ main(int argc, char **argv)
          {"binary64", "log", "posit64_18", "log32", "binary32",
           "bfloat16"}) {
         const auto &format = registry.at(id);
-        const auto post = engine.posteriorBatch(
-            format, jobs, engine::Dataflow::Accelerator, true);
-        const auto vit = engine.viterbiBatch(format, jobs)[0];
+        engine::EvalPlan post_plan;
+        post_plan.kernel = engine::PlanKernel::Posterior;
+        post_plan.format_id = id;
+        post_plan.renormalize = true;
+        engine::EvalPlan vit_plan;
+        vit_plan.kernel = engine::PlanKernel::Viterbi;
+        vit_plan.format_id = id;
+        engine::PlanInputs inputs;
+        inputs.jobs = jobs;
+        inputs.format = &format;
+        const auto post = engine.run(post_plan, inputs).posteriors;
+        const auto vit = engine.run(vit_plan, inputs).decodes[0];
         double worst = -400.0;
         for (size_t k = 0; k < oracle_gamma.size(); ++k) {
             const double err = accuracy::relErrLog10(

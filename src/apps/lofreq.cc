@@ -21,7 +21,18 @@ lofreqPValues(const engine::FormatOps &format,
               const pbd::ColumnDataset &dataset,
               engine::EvalEngine &engine, engine::SumPolicy sum)
 {
-    return engine.pvalueBatch(format, dataset.columns, sum);
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::PValue;
+    plan.source = engine::PlanSource::Memory;
+    plan.policy = engine::PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    plan.sum = sum == engine::SumPolicy::Compensated
+                   ? engine::PlanSum::Compensated
+                   : engine::PlanSum::Plain;
+    engine::PlanInputs inputs;
+    inputs.columns = dataset.columns;
+    inputs.format = &format;
+    return engine.run(plan, inputs).results;
 }
 
 std::vector<BigFloat>
@@ -38,8 +49,19 @@ lofreqPValuesScreened(const engine::FormatOps &format,
                       const pbd::ScreenConfig &config,
                       engine::SumPolicy sum)
 {
-    return engine.pvalueScreenedBatch(format, dataset.columns,
-                                      config, sum);
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::PValue;
+    plan.source = engine::PlanSource::Memory;
+    plan.policy = engine::PlanPolicy::Screened;
+    plan.format_id = format.id();
+    plan.screen = config;
+    plan.sum = sum == engine::SumPolicy::Compensated
+                   ? engine::PlanSum::Compensated
+                   : engine::PlanSum::Plain;
+    engine::PlanInputs inputs;
+    inputs.columns = dataset.columns;
+    inputs.format = &format;
+    return engine.run(plan, inputs).screened;
 }
 
 size_t

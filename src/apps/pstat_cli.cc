@@ -34,6 +34,7 @@
 #include "apps/pstat_cli.hh"
 
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +44,8 @@
 #include <string>
 #include <system_error>
 #include <vector>
+
+#include <unistd.h>
 
 #include "apps/lofreq.hh"
 #include "engine/env.hh"
@@ -55,6 +58,8 @@
 #include "io/shard_stream.hh"
 #include "pbd/dataset.hh"
 #include "pbd/screen.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 
 namespace
 {
@@ -80,6 +85,13 @@ usage(std::FILE *out)
         "  pstat eval   --plan-file FILE [-o RESULTS.shard] [SHARD...]\n"
         "  pstat screen --format ID [--guard-bits B] [--queue N=2]\n"
         "               [-o RESULTS.shard] SHARD...\n"
+        "  pstat serve  --socket PATH [--tcp PORT] [--queue N=16]\n"
+        "               [--coalesce N=8] [--stall-ms MS=0]\n"
+        "  pstat request --socket PATH | --tcp PORT\n"
+        "               [--format ID [--screen] [--guard-bits B]]\n"
+        "               [--adaptive [--ladder SPEC] [--tol BITS]\n"
+        "               [--threshold BITS]] [--deadline-ms N]\n"
+        "               [-o RESULTS.shard] SHARD...\n"
         "\n"
         "gen writes Columns shards of the paper's LoFreq column\n"
         "profile (streaming: any size at O(column) memory); info\n"
@@ -100,10 +112,23 @@ usage(std::FILE *out)
         "shard (lossless values + flags; `pstat info` prints it,\n"
         "io/shard.hh documents the record layout).\n"
         "\n"
+        "serve runs the long-lived evaluation daemon: it listens on\n"
+        "a Unix socket (and/or TCP loopback) for PSTSRV1 request\n"
+        "frames carrying an encoded plan plus inline columns,\n"
+        "coalesces concurrent same-plan requests into one engine\n"
+        "run, rejects work beyond its admission queue (typed, never\n"
+        "a hang), honors per-request deadlines, and drains cleanly\n"
+        "on SIGINT/SIGTERM. request is the matching client: it sends\n"
+        "the columns of the given shards under the chosen policy and\n"
+        "exits 0 on success, 3 when rejected, 4 when expired.\n"
+        "\n"
         "environment: PSTAT_THREADS (engine lanes), PSTAT_COMPENSATED\n"
         "(summation policy), PSTAT_GUARD_BITS (screen default band),\n"
         "PSTAT_QUEUE_CAP (default --queue), PSTAT_LADDER (adaptive\n"
-        "tiers), PSTAT_CERT_TOL (adaptive default tolerance).\n");
+        "tiers), PSTAT_CERT_TOL (adaptive default tolerance),\n"
+        "PSTAT_SERVE_QUEUE / PSTAT_SERVE_COALESCE /\n"
+        "PSTAT_SERVE_MAX_FRAME (serve admission, coalescing and\n"
+        "frame-size defaults).\n");
     return out == stdout ? 0 : 2;
 }
 
@@ -444,29 +469,6 @@ runInfo(const Args &args)
 // ----------------------------------------------------- plan execution
 
 /**
- * The format label stamped into a result shard's meta block: the
- * plan's format id, or a composite "adaptive:..." label naming the
- * ladder tiers (results of an adaptive run mix tiers, so no single
- * registry id is honest).
- */
-std::string
-resultFormatLabel(const engine::EvalPlan &plan)
-{
-    if (plan.policy != engine::PlanPolicy::Adaptive &&
-        plan.policy != engine::PlanPolicy::ScreenedAdaptive)
-        return plan.format_id;
-    if (plan.ladder_ids.empty())
-        return "adaptive:default";
-    std::string label = "adaptive:";
-    for (size_t i = 0; i < plan.ladder_ids.size(); ++i) {
-        if (i > 0)
-            label += ",";
-        label += plan.ladder_ids[i];
-    }
-    return label;
-}
-
-/**
  * The optional `-o` result-shard sink of one plan execution. When
  * `out` is set, bind the returned sink into PlanInputs::result_sink;
  * reportResultShard prints the summary line after the run.
@@ -478,7 +480,7 @@ makeResultSink(const std::optional<std::string> &out,
     if (!out)
         return std::nullopt;
     return std::make_optional<engine::ShardFileSink>(
-        *out, plan.kernel, resultFormatLabel(plan));
+        *out, plan.kernel, engine::resultFormatLabel(plan));
 }
 
 /** The "wrote ..." line after a run that persisted a result shard. */
@@ -764,24 +766,17 @@ buildEvalFixedPlan(const Args &args)
     return plan;
 }
 
-/** Build the Adaptive-policy eval plan from flags; nullopt = usage. */
-std::optional<engine::EvalPlan>
-buildEvalAdaptivePlan(const Args &args)
+/**
+ * The --tol / --threshold certification flags over the
+ * defaultPValueCert() baseline; nullopt = usage error. Both are
+ * strictly parsed — a malformed or non-negative tolerance is a usage
+ * error, never a silently mangled certification. Shared by
+ * `eval --adaptive` and `request --adaptive` so the two paths build
+ * byte-identical plan certs from the same flags.
+ */
+std::optional<engine::CertConfig>
+parseCertOptions(const Args &args)
 {
-    if (option(args, "format")) {
-        std::fprintf(stderr,
-                     "pstat: --format conflicts with --adaptive "
-                     "(use --ladder to pick the tiers)\n");
-        return std::nullopt;
-    }
-    const auto queue = queueCapacity(args);
-    if (!queue)
-        return std::nullopt;
-
-    // Certification: the LoFreq threshold (plus PSTAT_CERT_TOL when
-    // set) unless --tol/--threshold override it. Both are strictly
-    // parsed — a malformed or non-negative tolerance is a usage
-    // error, never a silently mangled certification.
     engine::CertConfig cert = engine::defaultPValueCert();
     if (const auto tol = option(args, "tol")) {
         const auto parsed = engine::parseDouble(tol->c_str());
@@ -805,33 +800,99 @@ buildEvalAdaptivePlan(const Args &args)
         }
         cert.threshold_log2 = *parsed;
     }
+    return cert;
+}
+
+/**
+ * The --ladder flag into plan.ladder_ids: an explicit spec pins the
+ * tiers into the plan; without it the plan's empty ladder_ids defer
+ * to the executor's default (PSTAT_LADDER-overridable). Returns
+ * false on a bad spec (usage error, already reported).
+ */
+bool
+applyLadderOption(const Args &args, engine::EvalPlan &plan)
+{
+    const auto spec = option(args, "ladder");
+    if (!spec)
+        return true;
+    const auto parsed = engine::parseLadder(*spec);
+    if (!parsed) {
+        std::fprintf(stderr, "pstat: bad --ladder \"%s\" (ids:",
+                     spec->c_str());
+        for (const auto &known :
+             engine::FormatRegistry::instance().ids())
+            std::fprintf(stderr, " %s", known.c_str());
+        std::fprintf(stderr, ")\n");
+        return false;
+    }
+    for (const engine::FormatOps *tier : parsed->tiers)
+        plan.ladder_ids.push_back(tier->id());
+    return true;
+}
+
+/**
+ * The screen configuration of `screen` / `request --screen`:
+ * PSTAT_GUARD_BITS sets the default band, --guard-bits overrides.
+ * Strictly parsed (see buildScreenPlan's history note): a bad env
+ * value warns and keeps the default; a bad flag is a usage error.
+ */
+std::optional<pbd::ScreenConfig>
+parseScreenOptions(const Args &args)
+{
+    pbd::ScreenConfig screen;
+    if (const char *env = std::getenv("PSTAT_GUARD_BITS")) {
+        if (const auto parsed = engine::parseDouble(env)) {
+            screen.guard_band_log2 = *parsed;
+        } else {
+            std::fprintf(stderr,
+                         "pstat: ignoring invalid PSTAT_GUARD_BITS "
+                         "\"%s\" (keeping %g)\n",
+                         env, screen.guard_band_log2);
+        }
+    }
+    if (const auto guard = option(args, "guard-bits")) {
+        const auto parsed = engine::parseDouble(guard->c_str());
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "pstat: --guard-bits wants a number, got "
+                         "\"%s\"\n",
+                         guard->c_str());
+            return std::nullopt;
+        }
+        screen.guard_band_log2 = *parsed;
+    }
+    return screen;
+}
+
+/** Build the Adaptive-policy eval plan from flags; nullopt = usage. */
+std::optional<engine::EvalPlan>
+buildEvalAdaptivePlan(const Args &args)
+{
+    if (option(args, "format")) {
+        std::fprintf(stderr,
+                     "pstat: --format conflicts with --adaptive "
+                     "(use --ladder to pick the tiers)\n");
+        return std::nullopt;
+    }
+    const auto queue = queueCapacity(args);
+    if (!queue)
+        return std::nullopt;
+
+    // Certification: the LoFreq threshold (plus PSTAT_CERT_TOL when
+    // set) unless --tol/--threshold override it.
+    const auto cert = parseCertOptions(args);
+    if (!cert)
+        return std::nullopt;
 
     engine::EvalPlan plan;
     plan.kernel = engine::PlanKernel::PValue;
     plan.source = engine::PlanSource::ShardStream;
     plan.policy = engine::PlanPolicy::Adaptive;
-    plan.cert = cert;
+    plan.cert = *cert;
     plan.queue_capacity = *queue;
     plan.shard_paths = args.positional;
-
-    // An explicit --ladder pins the tiers into the plan; without it
-    // the plan's empty ladder_ids defer to the executor's default
-    // (PSTAT_LADDER-overridable), matching the pre-plan behavior.
-    if (const auto spec = option(args, "ladder")) {
-        const auto parsed = engine::parseLadder(*spec);
-        if (!parsed) {
-            std::fprintf(stderr,
-                         "pstat: bad --ladder \"%s\" (ids:",
-                         spec->c_str());
-            for (const auto &known :
-                 engine::FormatRegistry::instance().ids())
-                std::fprintf(stderr, " %s", known.c_str());
-            std::fprintf(stderr, ")\n");
-            return std::nullopt;
-        }
-        for (const engine::FormatOps *tier : parsed->tiers)
-            plan.ladder_ids.push_back(tier->id());
-    }
+    if (!applyLadderOption(args, plan))
+        return std::nullopt;
     return plan;
 }
 
@@ -895,37 +956,17 @@ buildScreenPlan(const Args &args)
     // Guard band, strictly parsed. std::atof was used here before:
     // "64x" and "banana" both read as valid bands (64 and 0 — the
     // latter silently disabling the guard), exactly the silent
-    // misconfiguration engine/env.hh exists to prevent. A bad env
-    // value warns and keeps the default; a bad flag is a usage error.
-    pbd::ScreenConfig screen;
-    if (const char *env = std::getenv("PSTAT_GUARD_BITS")) {
-        if (const auto parsed = engine::parseDouble(env)) {
-            screen.guard_band_log2 = *parsed;
-        } else {
-            std::fprintf(stderr,
-                         "pstat: ignoring invalid PSTAT_GUARD_BITS "
-                         "\"%s\" (keeping %g)\n",
-                         env, screen.guard_band_log2);
-        }
-    }
-    if (const auto guard = option(args, "guard-bits")) {
-        const auto parsed = engine::parseDouble(guard->c_str());
-        if (!parsed) {
-            std::fprintf(stderr,
-                         "pstat: --guard-bits wants a number, got "
-                         "\"%s\"\n",
-                         guard->c_str());
-            return std::nullopt;
-        }
-        screen.guard_band_log2 = *parsed;
-    }
+    // misconfiguration engine/env.hh exists to prevent.
+    const auto screen = parseScreenOptions(args);
+    if (!screen)
+        return std::nullopt;
 
     engine::EvalPlan plan;
     plan.kernel = engine::PlanKernel::PValue;
     plan.source = engine::PlanSource::ShardStream;
     plan.policy = engine::PlanPolicy::Screened;
     plan.format_id = format->id();
-    plan.screen = screen;
+    plan.screen = *screen;
     plan.queue_capacity = *queue;
     plan.shard_paths = args.positional;
     return plan;
@@ -944,6 +985,321 @@ runScreen(const Args &args)
         return 2;
     }
     return executePlan(*plan, option(args, "out"));
+}
+
+// -------------------------------------------------------------- serve
+
+/**
+ * One PSTAT_SERVE_* environment default, strictly parsed like every
+ * knob in engine/env.hh: a malformed or non-positive value warns and
+ * keeps the built-in default instead of silently becoming garbage.
+ */
+long
+serveEnvDefault(const char *name, long fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr)
+        return fallback;
+    const auto parsed = engine::parseLong(env);
+    if (parsed && *parsed > 0)
+        return *parsed;
+    std::fprintf(stderr,
+                 "pstat: ignoring invalid %s \"%s\" (keeping %ld)\n",
+                 name, env, fallback);
+    return fallback;
+}
+
+/** Self-pipe of the serve signal handler (async-signal-safe). */
+int g_serve_signal_pipe[2] = {-1, -1};
+
+extern "C" void
+serveSignalHandler(int)
+{
+    const char byte = 1;
+    // The return value is irrelevant: a full pipe still means a
+    // signal is already pending.
+    [[maybe_unused]] const ssize_t n =
+        ::write(g_serve_signal_pipe[1], &byte, 1);
+}
+
+int
+runServe(const Args &args)
+{
+    const auto socket_path = option(args, "socket");
+    const auto tcp = optionLong(args, "tcp", -1);
+    if (!tcp)
+        return 2;
+    if (!socket_path && *tcp < 0) {
+        std::fprintf(stderr,
+                     "pstat: serve needs --socket PATH and/or "
+                     "--tcp PORT\n");
+        return 2;
+    }
+
+    serve::ServerConfig config;
+    if (socket_path)
+        config.unix_path = *socket_path;
+    config.tcp_port = static_cast<int>(*tcp);
+    // Environment defaults (strict-parsed), flags override.
+    config.queue_capacity = static_cast<size_t>(serveEnvDefault(
+        "PSTAT_SERVE_QUEUE",
+        static_cast<long>(config.queue_capacity)));
+    config.coalesce_max = static_cast<size_t>(serveEnvDefault(
+        "PSTAT_SERVE_COALESCE",
+        static_cast<long>(config.coalesce_max)));
+    config.max_frame_bytes = static_cast<uint64_t>(serveEnvDefault(
+        "PSTAT_SERVE_MAX_FRAME",
+        static_cast<long>(config.max_frame_bytes)));
+    const auto queue = optionLong(
+        args, "queue", static_cast<long>(config.queue_capacity));
+    const auto coalesce = optionLong(
+        args, "coalesce", static_cast<long>(config.coalesce_max));
+    const auto stall = optionLong(args, "stall-ms", 0);
+    if (!queue || !coalesce || !stall)
+        return 2;
+    if (*queue <= 0 || *coalesce <= 0 || *stall < 0) {
+        std::fprintf(stderr,
+                     "pstat: --queue/--coalesce must be positive "
+                     "and --stall-ms non-negative\n");
+        return 2;
+    }
+    config.queue_capacity = static_cast<size_t>(*queue);
+    config.coalesce_max = static_cast<size_t>(*coalesce);
+    config.stall_ms = static_cast<uint64_t>(*stall);
+
+    if (::pipe(g_serve_signal_pipe) != 0) {
+        std::fprintf(stderr, "pstat: pipe: %s\n",
+                     std::strerror(errno));
+        return 1;
+    }
+    struct sigaction action = {};
+    action.sa_handler = serveSignalHandler;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+    // A client that disconnects mid-response must not kill the
+    // daemon; the write error is handled at the frame layer.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    try {
+        serve::Server server(config);
+        if (!config.unix_path.empty())
+            std::printf("pstat serve: listening on %s\n",
+                        config.unix_path.c_str());
+        if (config.tcp_port >= 0)
+            std::printf("pstat serve: listening on 127.0.0.1:%u\n",
+                        server.tcpPort());
+        std::printf("pstat serve: queue %zu, coalesce %zu\n",
+                    config.queue_capacity, config.coalesce_max);
+        std::fflush(stdout);
+
+        char byte = 0;
+        while (::read(g_serve_signal_pipe[0], &byte, 1) < 0 &&
+               errno == EINTR) {
+        }
+        std::printf("pstat serve: shutting down (draining)\n");
+        server.stop();
+        const serve::ServerStats stats = server.stats();
+        std::printf("pstat serve: served %llu, rejected %llu, "
+                    "expired %llu, errors %llu, batches %llu, "
+                    "columns %llu\n",
+                    static_cast<unsigned long long>(stats.served),
+                    static_cast<unsigned long long>(stats.rejected),
+                    static_cast<unsigned long long>(stats.expired),
+                    static_cast<unsigned long long>(stats.errors),
+                    static_cast<unsigned long long>(stats.batches),
+                    static_cast<unsigned long long>(stats.columns));
+    } catch (const serve::FrameError &error) {
+        std::fprintf(stderr, "pstat: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}
+
+// ------------------------------------------------------------ request
+
+/** Build the Memory-source plan a request carries; nullopt = usage. */
+std::optional<engine::EvalPlan>
+buildRequestPlan(const Args &args)
+{
+    const bool adaptive = option(args, "adaptive").has_value();
+    const bool screened = option(args, "screen").has_value();
+
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::PValue;
+    plan.source = engine::PlanSource::Memory;
+
+    if (adaptive) {
+        if (option(args, "format")) {
+            std::fprintf(stderr,
+                         "pstat: --format conflicts with --adaptive "
+                         "(use --ladder to pick the tiers)\n");
+            return std::nullopt;
+        }
+        const auto cert = parseCertOptions(args);
+        if (!cert)
+            return std::nullopt;
+        plan.policy = screened
+                          ? engine::PlanPolicy::ScreenedAdaptive
+                          : engine::PlanPolicy::Adaptive;
+        plan.cert = *cert;
+        if (!applyLadderOption(args, plan))
+            return std::nullopt;
+    } else {
+        const auto *format = lookupFormat(args);
+        if (format == nullptr)
+            return std::nullopt;
+        plan.policy = screened ? engine::PlanPolicy::Screened
+                               : engine::PlanPolicy::Fixed;
+        plan.format_id = format->id();
+    }
+    if (screened) {
+        const auto screen = parseScreenOptions(args);
+        if (!screen)
+            return std::nullopt;
+        plan.screen = *screen;
+    }
+    return plan;
+}
+
+/** Load every column of the given Columns shards, in order. */
+std::optional<std::vector<pbd::Column>>
+loadRequestColumns(const std::vector<std::string> &paths)
+{
+    std::vector<pbd::Column> columns;
+    for (const std::string &path : paths) {
+        try {
+            const io::ShardReader reader(path);
+            if (reader.payload() != io::ShardPayload::Columns) {
+                std::fprintf(stderr,
+                             "pstat: %s is not a columns shard\n",
+                             path.c_str());
+                return std::nullopt;
+            }
+            for (size_t i = 0; i < reader.size(); ++i) {
+                const pbd::ColumnView view = reader.column(i);
+                pbd::Column column;
+                column.k = view.k;
+                column.success_probs.assign(
+                    view.success_probs.begin(),
+                    view.success_probs.end());
+                columns.push_back(std::move(column));
+            }
+        } catch (const io::ShardError &error) {
+            std::fprintf(stderr, "pstat: %s\n", error.what());
+            return std::nullopt;
+        }
+    }
+    return columns;
+}
+
+int
+runRequest(const Args &args)
+{
+    const auto socket_path = option(args, "socket");
+    const auto tcp = optionLong(args, "tcp", -1);
+    if (!tcp)
+        return 2;
+    if (!socket_path && *tcp < 0) {
+        std::fprintf(stderr,
+                     "pstat: request needs --socket PATH or "
+                     "--tcp PORT\n");
+        return 2;
+    }
+    if (args.positional.empty()) {
+        std::fprintf(stderr, "pstat: request needs shard files\n");
+        return 2;
+    }
+    const auto deadline = optionLong(args, "deadline-ms", 0);
+    if (!deadline)
+        return 2;
+    if (*deadline < 0) {
+        std::fprintf(stderr,
+                     "pstat: --deadline-ms must be non-negative\n");
+        return 2;
+    }
+
+    const auto plan = buildRequestPlan(args);
+    if (!plan)
+        return 2;
+    const auto columns = loadRequestColumns(args.positional);
+    if (!columns)
+        return 2;
+
+    ::signal(SIGPIPE, SIG_IGN);
+    serve::ServeRequest request;
+    request.id = 1;
+    request.deadline_ms = static_cast<uint64_t>(*deadline);
+    request.plan = *plan;
+    request.columns = std::move(*columns);
+
+    serve::ServeResponse response;
+    try {
+        serve::Client client =
+            socket_path
+                ? serve::Client::connectUnix(*socket_path)
+                : serve::Client::connectTcp(
+                      "127.0.0.1", static_cast<uint16_t>(*tcp));
+        response = client.roundTrip(request);
+    } catch (const serve::FrameError &error) {
+        std::fprintf(stderr, "pstat: %s\n", error.what());
+        return 1;
+    }
+
+    switch (response.status) {
+    case serve::RequestStatus::Rejected:
+        std::fprintf(stderr, "pstat: request rejected: %s\n",
+                     response.message.c_str());
+        return 3;
+    case serve::RequestStatus::Expired:
+        std::fprintf(stderr, "pstat: request expired: %s\n",
+                     response.message.c_str());
+        return 4;
+    case serve::RequestStatus::Error:
+        std::fprintf(stderr, "pstat: request failed: %s\n",
+                     response.message.c_str());
+        return 1;
+    case serve::RequestStatus::Ok:
+        break;
+    }
+
+    size_t invalid = 0;
+    size_t underflows = 0;
+    size_t skipped = 0;
+    size_t certified = 0;
+    for (const serve::ResponseRecord &record : response.records) {
+        if (record.flags & io::result_flag_invalid)
+            ++invalid;
+        if (record.flags & io::result_flag_underflow)
+            ++underflows;
+        if (record.flags & io::result_flag_skipped)
+            ++skipped;
+        if (record.flags & io::result_flag_certified)
+            ++certified;
+    }
+    std::printf("response: %zu records [%s], %zu invalid, %zu "
+                "underflows, %zu skipped, %zu certified\n",
+                response.records.size(), response.format_id.c_str(),
+                invalid, underflows, skipped, certified);
+
+    if (const auto out = option(args, "out")) {
+        try {
+            // The exact writer `pstat eval -o` uses underneath
+            // (engine::ShardFileSink), so the persisted shard is
+            // byte-identical to the offline output of the same plan.
+            io::ShardWriter writer(*out, response.kernel,
+                                   response.format_id);
+            for (const serve::ResponseRecord &record :
+                 response.records)
+                writer.addResult(record.toShardRecord());
+            writer.close();
+            std::printf("wrote %s: %zu result records\n",
+                        out->c_str(), response.records.size());
+        } catch (const std::exception &error) {
+            std::fprintf(stderr, "pstat: %s\n", error.what());
+            return 1;
+        }
+    }
+    return 0;
 }
 
 } // namespace
@@ -972,7 +1328,14 @@ pstatMain(int argc, const char *const *argv)
         flags = {"adaptive"};
     } else if (command == "screen")
         known = {"format", "queue", "guard-bits", "plan-dump", "out"};
-    else {
+    else if (command == "serve")
+        known = {"socket", "tcp", "queue", "coalesce", "stall-ms"};
+    else if (command == "request") {
+        known = {"socket",    "tcp",         "format",
+                 "guard-bits", "ladder",      "tol",
+                 "threshold",  "deadline-ms", "out"};
+        flags = {"adaptive", "screen"};
+    } else {
         std::fprintf(stderr, "pstat: unknown command \"%s\"\n",
                      command.c_str());
         return usage(stderr);
@@ -989,6 +1352,10 @@ pstatMain(int argc, const char *const *argv)
             return runInfo(*args);
         if (command == "eval")
             return runEval(*args);
+        if (command == "serve")
+            return runServe(*args);
+        if (command == "request")
+            return runRequest(*args);
         return runScreen(*args);
     } catch (const std::exception &error) {
         std::fprintf(stderr, "pstat: %s\n", error.what());

@@ -67,7 +67,17 @@ vicarLikelihoodBatch(const engine::FormatOps &format,
                      engine::EvalEngine &engine,
                      engine::Dataflow dataflow)
 {
-    return engine.forwardBatch(format, toJobs(workloads), dataflow);
+    const std::vector<engine::ForwardJob> jobs = toJobs(workloads);
+    engine::EvalPlan plan;
+    plan.kernel = engine::PlanKernel::Forward;
+    plan.source = engine::PlanSource::Memory;
+    plan.policy = engine::PlanPolicy::Fixed;
+    plan.format_id = format.id();
+    plan.dataflow = dataflow;
+    engine::PlanInputs inputs;
+    inputs.jobs = jobs;
+    inputs.format = &format;
+    return engine.run(plan, inputs).results;
 }
 
 std::vector<BigFloat>

@@ -358,6 +358,23 @@ describePlan(const EvalPlan &plan)
     return out;
 }
 
+std::string
+resultFormatLabel(const EvalPlan &plan)
+{
+    if (plan.policy != PlanPolicy::Adaptive &&
+        plan.policy != PlanPolicy::ScreenedAdaptive)
+        return plan.format_id;
+    if (plan.ladder_ids.empty())
+        return "adaptive:default";
+    std::string label = "adaptive:";
+    for (size_t i = 0; i < plan.ladder_ids.size(); ++i) {
+        if (i > 0)
+            label += ",";
+        label += plan.ladder_ids[i];
+    }
+    return label;
+}
+
 std::vector<uint8_t>
 encodePlan(const EvalPlan &plan)
 {

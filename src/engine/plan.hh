@@ -204,6 +204,17 @@ void validatePlan(const EvalPlan &plan);
  */
 std::string describePlan(const EvalPlan &plan);
 
+/**
+ * The format label stamped into a result shard's meta block (and
+ * into a serve-mode response): the plan's format id for the fixed
+ * policies, or a composite "adaptive:tier1,tier2,..." label naming
+ * the ladder tiers ("adaptive:default" for an empty ladder) — the
+ * results of an adaptive run mix tiers, so no single registry id is
+ * honest. Shared by `pstat eval -o` and the serve daemon so the two
+ * paths stamp byte-identical meta blocks.
+ */
+std::string resultFormatLabel(const EvalPlan &plan);
+
 /** The on-wire magic, first 8 bytes of every encoded plan. */
 inline constexpr char plan_magic[8] = {'P', 'S', 'T', 'P',
                                        'L', 'A', 'N', '1'};

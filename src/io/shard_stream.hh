@@ -79,15 +79,37 @@ class BoundedQueue
     }
 
     /**
-     * Blocks until an item is available; empty optional once the
-     * queue is closed and drained.
+     * Non-blocking push — the admission-control flavor: returns
+     * false immediately (item dropped) when the queue is full or
+     * closed, instead of waiting for room. This is what turns the
+     * capacity bound into backpressure a caller can *observe* (and
+     * translate into a typed rejection) rather than a hang.
      */
-    std::optional<T>
-    pop()
+    bool
+    tryPush(T item)
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        item_cv_.wait(lock,
-                      [&] { return closed_ || !items_.empty(); });
+        if (closed_ || items_.size() >= capacity_)
+            return false;
+        items_.push_back(std::move(item));
+        if (items_.size() > peak_depth_)
+            peak_depth_ = items_.size();
+        lock.unlock();
+        item_cv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Non-blocking pop: the front item when one is queued, else an
+     * empty optional immediately (whether the queue is merely empty
+     * or closed). The greedy-coalescing companion of tryPush — a
+     * consumer that already holds work can sweep whatever else has
+     * arrived without ever blocking.
+     */
+    std::optional<T>
+    tryPop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
         if (items_.empty())
             return std::nullopt;
         std::optional<T> out(std::move(items_.front()));
@@ -95,6 +117,48 @@ class BoundedQueue
         lock.unlock();
         space_cv_.notify_one();
         return out;
+    }
+
+    /**
+     * Blocks until an item is available (and the pop gate is open);
+     * empty optional once the queue is closed and drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        item_cv_.wait(lock, [&] {
+            return closed_ || (!pop_gated_ && !items_.empty());
+        });
+        if (items_.empty())
+            return std::nullopt;
+        std::optional<T> out(std::move(items_.front()));
+        items_.pop_front();
+        lock.unlock();
+        space_cv_.notify_one();
+        return out;
+    }
+
+    /**
+     * Hold (or release) blocking consumers: while the gate is set,
+     * pop() waits even when items are queued, so producers keep
+     * admitting while nothing is consumed and depth() reads exactly
+     * what was admitted — the quiesce primitive the serve tests pin
+     * their scheduler scenarios on. Because the gate shares the
+     * queue's own mutex, a gated consumer provably holds no item.
+     * close() overrides the gate (shutdown always drains), and
+     * tryPop() ignores it by design: a consumer already mid-round
+     * may finish its greedy sweep.
+     */
+    void
+    setPopGate(bool gated)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            pop_gated_ = gated;
+        }
+        if (!gated)
+            item_cv_.notify_all();
     }
 
     /** Refuse further pushes and wake every waiter. */
@@ -120,6 +184,17 @@ class BoundedQueue
         return peak_depth_;
     }
 
+    /** Items queued right now (a snapshot — it races with concurrent
+     *  push/pop, so only a quiesced producer/consumer pair can read
+     *  it deterministically; the serve tests poll it to sequence
+     *  their scheduler-gate scenarios). */
+    size_t
+    depth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
   private:
     const size_t capacity_;
     mutable std::mutex mutex_;
@@ -128,6 +203,7 @@ class BoundedQueue
     std::deque<T> items_;
     size_t peak_depth_ = 0;
     bool closed_ = false;
+    bool pop_gated_ = false;
 };
 
 /** Configuration of one shard stream. */

@@ -1,3 +1,11 @@
+// These tests intentionally exercise the PSTAT_LEGACY_API wrappers
+// (bit-identity against the EvalPlan pipeline is part of the
+// contract under test), so silence the deprecation that the
+// -DPSTAT_DEPRECATE_LEGACY_API build leg turns on.
+#if defined(PSTAT_DEPRECATE_LEGACY_API) && defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 // Sink layer contracts: accumulation parity, tally counters, tee
 // fan-out, the lossless result-shard round trip for every registered
 // format (the file-sink acceptance criterion), and writer/reader
@@ -315,6 +323,87 @@ TEST(ResultSink, RunTeesTheBoundResultSinkIntoThePlan)
     for (size_t i = 0; i < run.results.size(); ++i)
         expectSameResult(data.results[i], run.results[i],
                          "teed record " + std::to_string(i));
+}
+
+// A zero-record run must still leave a structurally valid, readable
+// result shard behind — header, meta block, and trailer with a
+// consistent CRC over zero records — for every sink channel. The
+// serve daemon forwards empty requests through exactly this path.
+TEST(ResultSink, FileSinkWritesReadableZeroRecordShards)
+{
+    EvalEngine engine(2);
+
+    struct Case
+    {
+        const char *name;
+        PlanPolicy policy;
+    };
+    for (const Case &kind :
+         {Case{"fixed", PlanPolicy::Fixed},
+          Case{"screened", PlanPolicy::Screened},
+          Case{"adaptive", PlanPolicy::Adaptive}}) {
+        EvalPlan plan;
+        plan.kernel = PlanKernel::PValue;
+        plan.source = PlanSource::Memory;
+        plan.policy = kind.policy;
+        plan.format_id = "binary64";
+        if (kind.policy == PlanPolicy::Adaptive)
+            plan.cert = defaultPValueCert();
+
+        const std::string path =
+            tempPath(std::string("sink-empty-") + kind.name +
+                     ".shard");
+        ShardFileSink file(path, plan.kernel,
+                           resultFormatLabel(plan));
+        PlanInputs inputs;
+        inputs.columns = {}; // the zero-record run
+        inputs.result_sink = &file;
+        const PlanRun run = engine.run(plan, inputs);
+        EXPECT_TRUE(run.results.empty()) << kind.name;
+        EXPECT_EQ(file.written(), 0u) << kind.name;
+
+        const ResultShardData data = readResultShard(path);
+        EXPECT_EQ(data.kernel, PlanKernel::PValue) << kind.name;
+        EXPECT_EQ(data.format_id, resultFormatLabel(plan))
+            << kind.name;
+        EXPECT_TRUE(data.results.empty()) << kind.name;
+        EXPECT_TRUE(data.skipped.empty()) << kind.name;
+        EXPECT_TRUE(data.certified.empty()) << kind.name;
+    }
+}
+
+// The per-shard callback adapter must deliver (not drop, not crash
+// on) a stream whose shards hold zero columns: the callback fires
+// once per shard with an empty result span, and the merged PlanRun
+// stays empty.
+TEST(ResultSink, CallbackSinkDeliversZeroRecordShards)
+{
+    const std::string empty_shard = tempPath("sink-empty-cols.shard");
+    io::writeColumnShard(empty_shard, std::vector<pbd::Column>{});
+
+    EvalEngine engine(2);
+    EvalPlan plan;
+    plan.kernel = PlanKernel::PValue;
+    plan.source = PlanSource::ShardStream;
+    plan.policy = PlanPolicy::Fixed;
+    plan.format_id = "binary64";
+    plan.shard_paths = {empty_shard, empty_shard};
+
+    size_t calls = 0;
+    PlanInputs inputs;
+    inputs.sink = [&](size_t shard_index,
+                      const io::ShardReader &shard,
+                      std::span<const EvalResult> results) {
+        EXPECT_EQ(shard_index, calls);
+        EXPECT_EQ(shard.size(), 0u);
+        EXPECT_TRUE(results.empty());
+        ++calls;
+    };
+    const PlanRun run = engine.run(plan, inputs);
+    EXPECT_EQ(calls, 2u);
+    EXPECT_TRUE(run.results.empty());
+    EXPECT_EQ(run.stream.shards, 2u);
+    EXPECT_EQ(run.stream.items, 0u);
 }
 
 TEST(ResultSink, WriterRejectsMalformedRecords)

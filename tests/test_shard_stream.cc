@@ -8,6 +8,14 @@
  * demands.
  */
 
+// These tests intentionally exercise the PSTAT_LEGACY_API wrappers
+// (bit-identity against the EvalPlan pipeline is part of the
+// contract under test), so silence the deprecation that the
+// -DPSTAT_DEPRECATE_LEGACY_API build leg turns on.
+#if defined(PSTAT_DEPRECATE_LEGACY_API) && defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 #include <optional>
 #include <string>
 #include <thread>

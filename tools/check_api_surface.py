@@ -11,11 +11,19 @@ extending EvalPlan. This script fails CI when a public *Batch or
 header's frozen allowlist.
 
 Since the layered-runtime split, the guard covers the whole
-src/engine runtime surface: eval_engine.hh keeps the legacy wrapper
+src/engine runtime surface: eval_engine.hh keeps the wrapper
 allowlist, while the layer headers (executor.hh, job_source.hh,
 result_sink.hh) have empty allowlists — the layers compose through
 run(), so a *Batch/*Stream entry point appearing on any of them is
-exactly the erosion this tripwire exists to catch.
+exactly the erosion this tripwire exists to catch. The serve daemon
+headers (src/serve/*.hh) are guarded the same way: the daemon speaks
+EvalPlan over the wire, so it must never grow a named evaluation
+entry point of its own.
+
+The eval_engine.hh allowlist is itself split: the legacy wrappers
+must each carry the PSTAT_LEGACY_API deprecation marker on their
+declaration — un-marking one (or adding a new "legacy" name without
+the marker) fails the guard, so the deprecated set can only shrink.
 
 Parsing is deliberately dumb (regex over access-specifier sections,
 comments stripped), which is exactly right for a tripwire: it needs
@@ -33,16 +41,28 @@ import argparse
 import re
 import sys
 
-# The frozen public surface of eval_engine.hh. Three groups, all
-# wrappers or measurement helpers around run():
-#   - legacy evaluation wrappers (build a plan, delegate to run)
-#   - oracle batches (the BigFloat measurement surface)
-#   - grainForBatch (a scheduling introspection knob, not evaluation)
-# Growing this list is an API-design decision: new evaluation shapes
-# belong in EvalPlan, not in new named entry points.
-ALLOWED = frozenset({
-    "pvalueBatch",
+# The non-legacy public surface of eval_engine.hh: the BigFloat
+# oracle batches (the measurement surface differential tests compare
+# against) plus grainForBatch (a scheduling introspection knob, not
+# evaluation). Growing this list is an API-design decision: new
+# evaluation shapes belong in EvalPlan, not in new named entry
+# points.
+NONLEGACY = frozenset({
     "pvalueOracleBatch",
+    "forwardOracleBatch",
+    "backwardOracleBatch",
+    "posteriorOracleBatch",
+    "viterbiOracleBatch",
+    "grainForBatch",
+})
+
+# The frozen legacy wrappers: thin plan-building delegates to run(),
+# kept for out-of-tree callers and the bit-identity tests. Every one
+# must be declared with the PSTAT_LEGACY_API marker (which expands to
+# [[deprecated]] under -DPSTAT_DEPRECATE_LEGACY_API). In-tree code
+# no longer calls any of them; this set only ever shrinks.
+LEGACY = frozenset({
+    "pvalueBatch",
     "pvalueScreenedBatch",
     "pvalueStream",
     "pvalueScreenedStream",
@@ -50,25 +70,33 @@ ALLOWED = frozenset({
     "pvalueAdaptiveStream",
     "forwardAdaptiveBatch",
     "forwardBatch",
-    "forwardOracleBatch",
     "forwardStream",
     "backwardBatch",
-    "backwardOracleBatch",
     "posteriorBatch",
-    "posteriorOracleBatch",
     "viterbiBatch",
-    "viterbiOracleBatch",
-    "grainForBatch",
 })
 
-# Every guarded header and its allowlist. The layer headers allow
-# nothing: their public surfaces are the layer interfaces (next(),
-# consume*(), parallelFor*), never named evaluation entry points.
+ALLOWED = NONLEGACY | LEGACY
+
+LEGACY_MARKER = "PSTAT_LEGACY_API"
+
+# How many stripped lines before a declaration may hold its marker
+# (return types wrap, so the marker usually sits one line up).
+MARKER_LOOKBACK = 2
+
+# Every guarded header and its (allowlist, legacy-set) pair. The
+# layer and serve headers allow nothing: their public surfaces are
+# the layer interfaces (next(), consume*(), send/receive), never
+# named evaluation entry points.
 GUARDED = {
-    "src/engine/eval_engine.hh": ALLOWED,
-    "src/engine/executor.hh": frozenset(),
-    "src/engine/job_source.hh": frozenset(),
-    "src/engine/result_sink.hh": frozenset(),
+    "src/engine/eval_engine.hh": (ALLOWED, LEGACY),
+    "src/engine/executor.hh": (frozenset(), frozenset()),
+    "src/engine/job_source.hh": (frozenset(), frozenset()),
+    "src/engine/result_sink.hh": (frozenset(), frozenset()),
+    "src/serve/frame.hh": (frozenset(), frozenset()),
+    "src/serve/server.hh": (frozenset(), frozenset()),
+    "src/serve/client.hh": (frozenset(), frozenset()),
+    "src/serve/routing_sink.hh": (frozenset(), frozenset()),
 }
 
 DECL_RE = re.compile(r"\b([A-Za-z_][A-Za-z0-9_]*(?:Batch|Stream))\s*\(")
@@ -82,13 +110,38 @@ def strip_comments(text):
     return re.sub(r"//[^\n]*", "", text)
 
 
+def marker_nearby(lines, lineno):
+    """Whether the declaration starting at 1-based `lineno` carries
+    the PSTAT_LEGACY_API marker: on the line itself, or on preceding
+    lines of the same declaration (wrapped return type). The backward
+    scan stops at anything that terminates an earlier declaration
+    (';', braces, an access specifier), so a neighbour's marker never
+    leaks onto the next wrapper."""
+    if LEGACY_MARKER in lines[lineno - 1]:
+        return True
+    i = lineno - 2
+    for _ in range(MARKER_LOOKBACK):
+        if i < 0:
+            break
+        line = lines[i]
+        if LEGACY_MARKER in line:
+            return True
+        if (";" in line or "{" in line or "}" in line
+                or ACCESS_RE.match(line)):
+            break
+        i -= 1
+    return False
+
+
 def public_decls(text):
-    """(line, name) of every *Batch/*Stream declared in a public
-    section of a class body (file scope counts as public too)."""
+    """(line, name, marked) of every *Batch/*Stream declared in a
+    public section of a class body (file scope counts as public too).
+    `marked` is whether the declaration carries the PSTAT_LEGACY_API
+    marker (see marker_nearby)."""
     decls = []
     access = "public"
-    for lineno, line in enumerate(strip_comments(text).splitlines(),
-                                  start=1):
+    lines = strip_comments(text).splitlines()
+    for lineno, line in enumerate(lines, start=1):
         m = ACCESS_RE.match(line)
         if m:
             access = m.group(1)
@@ -96,31 +149,47 @@ def public_decls(text):
         if access != "public":
             continue
         for m in DECL_RE.finditer(line):
-            decls.append((lineno, m.group(1)))
+            decls.append((lineno, m.group(1),
+                          marker_nearby(lines, lineno)))
     return decls
 
 
-def check(text, allowed=ALLOWED):
-    """Offending (line, name) pairs — public decls off the allowlist."""
-    return [(line, name) for line, name in public_decls(text)
-            if name not in allowed]
+def check(text, allowed=ALLOWED, legacy=LEGACY):
+    """Offending (line, name, why) triples: public decls off the
+    allowlist, plus legacy wrappers missing their deprecation
+    marker."""
+    offenders = []
+    for line, name, marked in public_decls(text):
+        if name not in allowed:
+            offenders.append((line, name, "off-allowlist"))
+        elif name in legacy and not marked:
+            offenders.append((line, name, "unmarked-legacy"))
+    return offenders
 
 
-def check_header(path, allowed):
+def check_header(path, allowed, legacy):
     """Check one header file; prints the verdict, returns 0/1."""
     with open(path, encoding="utf-8") as f:
         text = f.read()
-    offenders = check(text, allowed)
+    offenders = check(text, allowed, legacy)
     if offenders:
-        for line, name in offenders:
-            print(f"FAIL {path}:{line}: new public entry "
-                  f"point {name}() — extend EvalPlan and "
-                  f"EvalEngine::run instead (or, if this is a "
-                  f"deliberate API decision, add it to the "
-                  f"allowlist in tools/check_api_surface.py)")
+        for line, name, why in offenders:
+            if why == "unmarked-legacy":
+                print(f"FAIL {path}:{line}: legacy wrapper {name}() "
+                      f"lost its {LEGACY_MARKER} marker — the "
+                      f"deprecated surface is frozen; restore the "
+                      f"marker (or delete the wrapper and shrink the "
+                      f"LEGACY set in tools/check_api_surface.py)")
+            else:
+                print(f"FAIL {path}:{line}: new public entry "
+                      f"point {name}() — extend EvalPlan and "
+                      f"EvalEngine::run instead (or, if this is a "
+                      f"deliberate API decision, add it to the "
+                      f"allowlist in tools/check_api_surface.py)")
         return 1
     print(f"ok   {path}: public evaluation surface is "
-          f"frozen ({len(allowed)} allowlisted entry points)")
+          f"frozen ({len(allowed)} allowlisted entry points, "
+          f"{len(legacy)} marked legacy)")
     return 0
 
 
@@ -129,15 +198,17 @@ def self_test():
 class EvalEngine
 {
   public:
-    std::vector<EvalResult> pvalueBatch(const FormatOps &format);
-    StreamStats pvalueStream(const FormatOps &format);
+    PSTAT_LEGACY_API std::vector<EvalResult>
+    pvalueBatch(const FormatOps &format);
+    PSTAT_LEGACY_API StreamStats pvalueStream(const FormatOps &f);
+    std::vector<BigFloat> pvalueOracleBatch(Columns columns);
     size_t grainForBatch(size_t n) const;
   private:
     void pvalueBatchImpl(const FormatOps &format);
     void runBatch(size_t n);
 };
 """
-    assert check(header) == [], "allowlisted surface must pass"
+    assert check(header) == [], check(header)
 
     # A new public entry point trips the guard...
     added = header.replace(
@@ -145,15 +216,36 @@ class EvalEngine
         "    std::vector<EvalResult> pvalueTurboBatch(int fast);\n"
         "  private:")
     bad = check(added)
-    assert [name for _, name in bad] == ["pvalueTurboBatch"], bad
+    assert [name for _, name, _ in bad] == ["pvalueTurboBatch"], bad
 
     # ...whether *Batch or *Stream flavored.
     streamed = header.replace(
         "  private:",
         "    StreamStats posteriorStream(const FormatOps &format);\n"
         "  private:")
-    assert [name for _, name in check(streamed)] == [
+    assert [name for _, name, _ in check(streamed)] == [
         "posteriorStream"], check(streamed)
+
+    # A legacy wrapper that loses its PSTAT_LEGACY_API marker trips
+    # the guard, even though the name is allowlisted...
+    unmarked = header.replace(
+        "PSTAT_LEGACY_API StreamStats pvalueStream",
+        "StreamStats pvalueStream")
+    bad = check(unmarked)
+    assert [(name, why) for _, name, why in bad] == [
+        ("pvalueStream", "unmarked-legacy")], bad
+
+    # ...the marker may sit on the line above (wrapped return type),
+    # and non-legacy names never need it.
+    assert check(header)[0:0] == []  # pvalueBatch's marker is 1 up
+    nonlegacy_only = """
+class EvalEngine
+{
+  public:
+    std::vector<BigFloat> forwardOracleBatch(Jobs jobs);
+};
+"""
+    assert check(nonlegacy_only) == [], check(nonlegacy_only)
 
     # Private helpers never trip it, comments never trip it.
     commented = header.replace(
@@ -170,12 +262,13 @@ class AccuracyTally
     void turboTallyStream(int x);
 };
 """
-    assert [name for _, name in check(reopened)] == [
+    assert [name for _, name, _ in check(reopened)] == [
         "turboTallyStream"], check(reopened)
 
-    # The layer headers run under an empty allowlist: their current
-    # surfaces (virtual next()/consume*/parallelFor shapes) must
-    # pass, and even a formerly-allowlisted wrapper name trips them.
+    # The layer/serve headers run under an empty allowlist: their
+    # current surfaces (virtual next()/consume*/send/receive shapes)
+    # must pass, and even a formerly-allowlisted wrapper name trips
+    # them.
     layer = """
 class JobSource
 {
@@ -184,7 +277,8 @@ class JobSource
     virtual StreamStats stats() const { return {}; }
 };
 """
-    assert check(layer, frozenset()) == [], check(layer, frozenset())
+    empty = frozenset()
+    assert check(layer, empty, empty) == [], check(layer, empty, empty)
     leaked = layer + """
 class ResultSink
 {
@@ -192,8 +286,12 @@ class ResultSink
     StreamStats pvalueStream(const FormatOps &format);
 };
 """
-    assert [name for _, name in check(leaked, frozenset())] == [
-        "pvalueStream"], check(leaked, frozenset())
+    assert [name for _, name, _ in check(leaked, empty, empty)] == [
+        "pvalueStream"], check(leaked, empty, empty)
+
+    # The split is total and disjoint.
+    assert not (NONLEGACY & LEGACY)
+    assert ALLOWED == NONLEGACY | LEGACY
 
     # Sanity: every guarded header must actually exist in the tree
     # (a renamed header silently un-guards itself otherwise).
@@ -211,7 +309,8 @@ def main():
     parser = argparse.ArgumentParser(
         description="fail when a guarded runtime header grows a "
                     "public *Batch/*Stream entry point off its "
-                    "allowlist")
+                    "allowlist (or a legacy wrapper loses its "
+                    "deprecation marker)")
     parser.add_argument("--header", default=None,
                         help="check only this header (default: all "
                              "guarded headers)")
@@ -221,11 +320,11 @@ def main():
         return self_test()
 
     if args.header is not None:
-        allowed = GUARDED.get(args.header, ALLOWED)
-        return check_header(args.header, allowed)
+        allowed, legacy = GUARDED.get(args.header, (ALLOWED, LEGACY))
+        return check_header(args.header, allowed, legacy)
     status = 0
-    for path, allowed in GUARDED.items():
-        status |= check_header(path, allowed)
+    for path, (allowed, legacy) in GUARDED.items():
+        status |= check_header(path, allowed, legacy)
     return status
 
 

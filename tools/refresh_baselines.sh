@@ -28,5 +28,6 @@ PSTAT_FIG10_TLARGE=600 "$build_dir"/bench_fig10_vicar_cdf
 "$build_dir"/bench_fig14_streaming
 "$build_dir"/bench_fig15_simd
 "$build_dir"/bench_fig16_escalation
+"$build_dir"/bench_fig17_serve
 
 echo "baselines refreshed under $out_dir"
